@@ -1,0 +1,223 @@
+package ctxmatch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ctxmatch"
+	"ctxmatch/internal/core"
+	"ctxmatch/internal/datagen"
+	"ctxmatch/internal/experiments"
+	"ctxmatch/internal/match"
+)
+
+// The paper's evaluation section contains no numbered tables; every
+// result is a figure (8-22). One benchmark per figure regenerates that
+// figure's data at reduced scale per iteration, so `go test -bench .`
+// both times the pipeline and re-derives every series. Full-scale
+// regeneration is `go run ./cmd/experiments` (see EXPERIMENTS.md).
+
+func benchFigure(b *testing.B, id string) {
+	// Smaller than experiments.QuickConfig: a figure regeneration is one
+	// benchmark iteration, and the heavy sweeps (fig15-17) must stay
+	// within seconds per iteration.
+	cfg := experiments.Config{Rows: 120, TargetRows: 60, Students: 60, Repeats: 1, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := experiments.Registry[id](cfg)
+		if len(f.Points) == 0 {
+			b.Fatalf("%s produced no points", id)
+		}
+	}
+}
+
+// BenchmarkFig08 regenerates Figure 8 (ω sweep, target Aaron).
+func BenchmarkFig08(b *testing.B) { benchFigure(b, "fig08") }
+
+// BenchmarkFig09 regenerates Figure 9 (ω sweep, target Barrett).
+func BenchmarkFig09(b *testing.B) { benchFigure(b, "fig09") }
+
+// BenchmarkFig10 regenerates Figure 10 (ω sweep, target Ryan).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (strawman QualTable/MultiTable).
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (ρ sweep, EarlyDisjuncts).
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (ρ sweep, LateDisjuncts).
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14 (γ sweep, LateDisjuncts).
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15 (Early/Late runtime ratio vs γ).
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15") }
+
+// BenchmarkFig16 regenerates Figure 16 (FMeasure vs schema size).
+func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17 (runtime vs schema size).
+func BenchmarkFig17(b *testing.B) { benchFigure(b, "fig17") }
+
+// BenchmarkFig18 regenerates Figure 18 (FMeasure vs sample size).
+func BenchmarkFig18(b *testing.B) { benchFigure(b, "fig18") }
+
+// BenchmarkFig19 regenerates Figure 19 (Grades accuracy vs σ).
+func BenchmarkFig19(b *testing.B) { benchFigure(b, "fig19") }
+
+// BenchmarkFig20 regenerates Figure 20 (Inventory accuracy vs τ).
+func BenchmarkFig20(b *testing.B) { benchFigure(b, "fig20") }
+
+// BenchmarkFig21 regenerates Figure 21 (Grades accuracy vs τ).
+func BenchmarkFig21(b *testing.B) { benchFigure(b, "fig21") }
+
+// BenchmarkFig22 regenerates Figure 22 (Inventory runtime vs τ).
+func BenchmarkFig22(b *testing.B) { benchFigure(b, "fig22") }
+
+// BenchmarkContextMatch times one end-to-end contextual matching run on
+// the default Retail configuration for each inference algorithm.
+func BenchmarkContextMatch(b *testing.B) {
+	for _, inf := range []core.Inference{core.NaiveInfer, core.SrcClassInfer, core.TgtClassInfer} {
+		b.Run(inf.String(), func(b *testing.B) {
+			ds := datagen.Inventory(datagen.InventoryConfig{
+				Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+			})
+			opt := ctxmatch.DefaultOptions()
+			opt.Inference = inf
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := ctxmatch.Match(ds.Source, ds.Target, opt)
+				if len(res.Matches) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStandardMatch times the base matcher alone at several sample
+// sizes.
+func BenchmarkStandardMatch(b *testing.B) {
+	for _, rows := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			ds := datagen.Inventory(datagen.InventoryConfig{
+				Rows: rows, TargetRows: rows / 2, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+			})
+			src := ds.Source.Table("Inventory")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ms := ctxmatch.StandardMatch(src, ds.Target, 0.5); len(ms) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMappingExecute times building and executing the grades
+// attribute-normalization mapping.
+func BenchmarkMappingExecute(b *testing.B) {
+	ds := datagen.Grades(datagen.GradesConfig{Students: 200, Exams: 5, Sigma: 6, Seed: 1})
+	opt := ctxmatch.DefaultOptions()
+	opt.EarlyDisjuncts = false
+	opt.Tau = 0.4
+	res := ctxmatch.Match(ds.Source, ds.Target, opt)
+	ctxMatches := res.ContextualMatches()
+	if len(ctxMatches) == 0 {
+		b.Fatal("no contextual matches to map")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		maps := ctxmatch.BuildMappings(ctxMatches, ds.Source)
+		if len(maps) == 0 || maps[0].Execute().Len() == 0 {
+			b.Fatal("mapping failed")
+		}
+	}
+}
+
+// BenchmarkAblationEvidenceGate contrasts the default engine with the
+// pure §2.3 normalization (EvidenceScale=0): the DESIGN.md §5 ablation.
+// The benchmark reports FMeasure via b.ReportMetric so the quality
+// impact is visible next to the timing.
+func BenchmarkAblationEvidenceGate(b *testing.B) {
+	for _, gate := range []bool{true, false} {
+		name := "gated"
+		if !gate {
+			name = "pure-normalization"
+		}
+		b.Run(name, func(b *testing.B) {
+			ds := datagen.Inventory(datagen.InventoryConfig{
+				Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+			})
+			eng := match.NewEngine()
+			if !gate {
+				eng.EvidenceScale = 0
+			}
+			opt := ctxmatch.DefaultOptions()
+			opt.Engine = eng
+			var f float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := ctxmatch.Match(ds.Source, ds.Target, opt)
+				f = ds.FMeasure(res.Matches)
+			}
+			b.ReportMetric(f, "FMeasure")
+		})
+	}
+}
+
+// BenchmarkAblationSignificance contrasts the ClusteredViewGen
+// significance filter (T=0.95) with accepting every family (T=0): the
+// filter is what keeps random categorical attributes from flooding the
+// candidate set.
+func BenchmarkAblationSignificance(b *testing.B) {
+	for _, threshold := range []float64{0.95, 0} {
+		b.Run(fmt.Sprintf("T=%v", threshold), func(b *testing.B) {
+			ds := datagen.Inventory(datagen.InventoryConfig{
+				Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+			})
+			opt := ctxmatch.DefaultOptions()
+			opt.Inference = ctxmatch.SrcClassInfer
+			opt.SignificanceT = threshold
+			var f float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := ctxmatch.Match(ds.Source, ds.Target, opt)
+				f = ds.FMeasure(res.Matches)
+			}
+			b.ReportMetric(f, "FMeasure")
+		})
+	}
+}
+
+// BenchmarkAblationDisjunctPolicy contrasts EarlyDisjuncts and
+// LateDisjuncts end to end at γ=6, the design choice §3.3 and §5.9
+// discuss.
+func BenchmarkAblationDisjunctPolicy(b *testing.B) {
+	for _, early := range []bool{true, false} {
+		name := "early"
+		if !early {
+			name = "late"
+		}
+		b.Run(name, func(b *testing.B) {
+			ds := datagen.Inventory(datagen.InventoryConfig{
+				Rows: 300, TargetRows: 150, Gamma: 6, Target: datagen.Ryan, Seed: 1,
+			})
+			opt := ctxmatch.DefaultOptions()
+			opt.Inference = ctxmatch.SrcClassInfer
+			opt.EarlyDisjuncts = early
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctxmatch.Match(ds.Source, ds.Target, opt)
+			}
+		})
+	}
+}

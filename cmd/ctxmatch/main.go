@@ -1,0 +1,134 @@
+// Command ctxmatch runs contextual schema matching between two schemas
+// stored as CSV files and prints the discovered matches, optionally with
+// the Clio-style mapping SQL.
+//
+// Usage:
+//
+//	ctxmatch -source inv.csv,price.csv -target book.csv,music.csv [flags]
+//
+// Each CSV file becomes one table named after the file; the first header
+// row declares "name:type" columns (types: string, text, int, real,
+// bool; default string).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ctxmatch"
+)
+
+func main() {
+	var (
+		sourceList = flag.String("source", "", "comma-separated source CSV files")
+		targetList = flag.String("target", "", "comma-separated target CSV files")
+		tau        = flag.Float64("tau", 0.5, "confidence threshold τ for standard matches")
+		omega      = flag.Float64("omega", 5, "view improvement threshold ω")
+		inference  = flag.String("inference", "tgtclass", "view inference: naive, srcclass, tgtclass")
+		selection  = flag.String("selection", "qualtable", "match selection: qualtable, multitable")
+		late       = flag.Bool("late", false, "use LateDisjuncts instead of EarlyDisjuncts")
+		depth      = flag.Int("depth", 1, "conjunctive search depth (§3.5); 1 = simple conditions")
+		seed       = flag.Int64("seed", 1, "random seed for train/test partitioning")
+		standard   = flag.Bool("standard", false, "also print the standard (non-contextual) matches")
+		sql        = flag.Bool("sql", false, "print Clio-style mapping SQL for the selected matches")
+	)
+	flag.Parse()
+	if *sourceList == "" || *targetList == "" {
+		fmt.Fprintln(os.Stderr, "usage: ctxmatch -source a.csv[,b.csv…] -target x.csv[,y.csv…]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := loadSchema("source", *sourceList)
+	exitOn(err)
+	tgt, err := loadSchema("target", *targetList)
+	exitOn(err)
+
+	opt := ctxmatch.DefaultOptions()
+	opt.Tau = *tau
+	opt.Omega = *omega
+	opt.EarlyDisjuncts = !*late
+	opt.MaxDepth = *depth
+	opt.Seed = *seed
+	switch strings.ToLower(*inference) {
+	case "naive":
+		opt.Inference = ctxmatch.NaiveInfer
+	case "srcclass":
+		opt.Inference = ctxmatch.SrcClassInfer
+	case "tgtclass":
+		opt.Inference = ctxmatch.TgtClassInfer
+	default:
+		exitOn(fmt.Errorf("unknown inference %q", *inference))
+	}
+	switch strings.ToLower(*selection) {
+	case "qualtable":
+		opt.Selection = ctxmatch.QualTable
+	case "multitable":
+		opt.Selection = ctxmatch.MultiTable
+	default:
+		exitOn(fmt.Errorf("unknown selection %q", *selection))
+	}
+
+	res := ctxmatch.Match(src, tgt, opt)
+
+	if *standard {
+		fmt.Printf("standard matches (τ=%.2f):\n", *tau)
+		for _, m := range res.Standard {
+			fmt.Printf("  %v\n", m)
+		}
+		fmt.Println()
+	}
+	if len(res.Families) > 0 {
+		fmt.Println("well-clustered view families:")
+		for _, f := range res.Families {
+			fmt.Printf("  %v\n", f)
+		}
+		fmt.Println()
+	}
+	fmt.Println("selected matches:")
+	for _, m := range res.Matches {
+		fmt.Printf("  %v\n", m)
+	}
+	fmt.Printf("\n%d matches (%d contextual) in %s\n",
+		len(res.Matches), len(res.ContextualMatches()), res.Elapsed.Round(1e6))
+
+	if *sql {
+		fmt.Println("\nmapping SQL:")
+		for _, m := range ctxmatch.BuildMappings(res.Matches, src) {
+			for _, def := range m.ViewDefinitions() {
+				fmt.Printf("%s;\n", def)
+			}
+			fmt.Printf("-- populate %s\n%s;\n\n", m.Target.Name, m.SQL())
+		}
+	}
+}
+
+func loadSchema(name, list string) (*ctxmatch.Schema, error) {
+	s := ctxmatch.NewSchema(name)
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		t, err := ctxmatch.ReadCSVFile("", path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		if err := s.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.Tables) == 0 {
+		return nil, fmt.Errorf("no tables in %s schema", name)
+	}
+	return s, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxmatch:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// Command experiments regenerates the paper's figures (8-22). With no
+// arguments it runs everything at full scale; -fig selects one figure,
+// -quick shrinks the data for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctxmatch/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to run (e.g. fig12); empty runs all")
+	quick := flag.Bool("quick", false, "reduced data sizes for a fast run")
+	repeats := flag.Int("repeats", 0, "override number of repeats per point")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+
+	ids := experiments.IDs()
+	if *fig != "" {
+		if _, ok := experiments.Registry[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", *fig, ids)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		f := experiments.Registry[id](cfg)
+		fmt.Println(f.String())
+		fmt.Printf("(%s finished in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

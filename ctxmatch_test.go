@@ -1,0 +1,181 @@
+package ctxmatch_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+)
+
+// TestEndToEndRetail drives the public API through the paper's headline
+// scenario: a combined inventory source against separate book/music
+// target tables.
+func TestEndToEndRetail(t *testing.T) {
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 5,
+	})
+	res := ctxmatch.Match(ds.Source, ds.Target, ctxmatch.DefaultOptions())
+	ctx := res.ContextualMatches()
+	if len(ctx) == 0 {
+		t.Fatal("no contextual matches")
+	}
+	if f := ds.FMeasure(res.Matches); f < 80 {
+		t.Errorf("FMeasure = %v, want ≥ 80 on clean data", f)
+	}
+	if len(res.Families) == 0 {
+		t.Error("no view families reported")
+	}
+}
+
+// TestEndToEndGradesNormalization drives matching plus mapping: the
+// narrow grades table must map onto the wide table through per-exam
+// views joined on the student name (Example 4.3).
+func TestEndToEndGradesNormalization(t *testing.T) {
+	ds := datagen.Grades(datagen.GradesConfig{Students: 120, Exams: 4, Sigma: 6, Seed: 6})
+	opt := ctxmatch.DefaultOptions()
+	opt.EarlyDisjuncts = false // every exam view must survive
+	res := ctxmatch.Match(ds.Source, ds.Target, opt)
+
+	pr := ds.Evaluate(res.Matches)
+	if pr.Recall < 0.8 {
+		t.Fatalf("grades recall = %v, want ≥ 0.8", pr.Recall)
+	}
+
+	maps := ctxmatch.BuildMappings(res.ContextualMatches(), ds.Source)
+	if len(maps) != 1 {
+		t.Fatalf("want one mapping, got %d", len(maps))
+	}
+	m := maps[0]
+	// The per-exam views must all join into a single logical table.
+	if len(m.Logical) != 1 {
+		for _, lt := range m.Logical {
+			t.Logf("logical table: %v", lt.Names())
+		}
+		t.Fatalf("want one logical table, got %d", len(m.Logical))
+	}
+	out := m.Execute()
+	if out.Len() == 0 {
+		t.Fatal("mapping produced no rows")
+	}
+	// One row per student, with every mapped grade column populated.
+	if out.Len() != 120 {
+		t.Errorf("wide rows = %d, want 120", out.Len())
+	}
+	sql := m.SQL()
+	if !strings.Contains(sql, "LEFT OUTER JOIN") {
+		t.Errorf("mapping SQL should join the views:\n%s", sql)
+	}
+}
+
+// TestStandardMatchPublicAPI exercises the non-contextual entry point.
+func TestStandardMatchPublicAPI(t *testing.T) {
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 200, TargetRows: 100, Gamma: 2, Target: datagen.Ryan, Seed: 7,
+	})
+	src := ds.Source.Table("Inventory")
+	ms := ctxmatch.StandardMatch(src, ds.Target, 0.5)
+	if len(ms) == 0 {
+		t.Fatal("no standard matches")
+	}
+	for _, m := range ms {
+		if !m.IsStandard() {
+			t.Errorf("StandardMatch returned a contextual match: %v", m)
+		}
+		if m.Confidence < 0.5 {
+			t.Errorf("match below τ: %v", m)
+		}
+	}
+}
+
+// TestCSVRoundTripThroughFacade checks the CSV loaders re-exported by
+// the façade.
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	tab, err := ctxmatch.ReadCSV("t", strings.NewReader("a:int,b:text\n1,hello\n2,world\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 || tab.Attrs[1].Type != ctxmatch.Text {
+		t.Fatalf("CSV load wrong: %+v", tab)
+	}
+}
+
+// TestBuildTablesByHand exercises the Fig. 1 example through the public
+// constructors.
+func TestBuildTablesByHand(t *testing.T) {
+	inv := ctxmatch.NewTable("inv",
+		ctxmatch.Attribute{Name: "name", Type: ctxmatch.Text},
+		ctxmatch.Attribute{Name: "type", Type: ctxmatch.Int},
+		ctxmatch.Attribute{Name: "instock", Type: ctxmatch.Bool},
+	)
+	inv.Append(ctxmatch.Tuple{ctxmatch.S("leaves of grass"), ctxmatch.I(1), ctxmatch.B(true)})
+	inv.Append(ctxmatch.Tuple{ctxmatch.S("the white album"), ctxmatch.I(2), ctxmatch.B(true)})
+	if inv.Len() != 2 {
+		t.Fatal("append failed")
+	}
+	s := ctxmatch.NewSchema("RS", inv)
+	if s.Table("inv") == nil {
+		t.Fatal("schema lookup failed")
+	}
+	if ctxmatch.Null.IsNull() != true || ctxmatch.F(1.5).IsNumber() != true {
+		t.Fatal("value helpers broken")
+	}
+}
+
+// TestMineAndPropagateConstraints exercises the constraint entry points
+// with Example 4.1's shape.
+func TestMineAndPropagateConstraints(t *testing.T) {
+	project := ctxmatch.NewTable("project",
+		ctxmatch.Attribute{Name: "name", Type: ctxmatch.String},
+		ctxmatch.Attribute{Name: "assignt", Type: ctxmatch.Int},
+		ctxmatch.Attribute{Name: "grade", Type: ctxmatch.String},
+	)
+	for s := 0; s < 6; s++ {
+		for a := 0; a < 3; a++ {
+			project.Append(ctxmatch.Tuple{
+				ctxmatch.S(fmt.Sprintf("student%d", s)),
+				ctxmatch.I(a),
+				ctxmatch.S("A"),
+			})
+		}
+	}
+	schema := ctxmatch.NewSchema("RS", project)
+	mined := ctxmatch.MineConstraints(schema)
+	if !mined.HasKey("project", []string{"name", "assignt"}) {
+		t.Fatalf("composite key not mined: %v", mined.Keys)
+	}
+	views := []*ctxmatch.Table{}
+	for a := 0; a < 3; a++ {
+		views = append(views, project.Select(fmt.Sprintf("V%d", a),
+			ctxmatch.Eq{Attr: "assignt", Value: ctxmatch.I(a)}))
+	}
+	out := ctxmatch.PropagateConstraints(mined, views)
+	for a := 0; a < 3; a++ {
+		if !out.HasKey(fmt.Sprintf("V%d", a), []string{"name"}) {
+			t.Errorf("V%d missing propagated key on name", a)
+		}
+	}
+	if len(out.CFKs) < 3 {
+		t.Errorf("contextual foreign keys not derived: %v", out.CFKs)
+	}
+}
+
+// TestConditionConstructors exercises the re-exported condition types.
+func TestConditionConstructors(t *testing.T) {
+	in := ctxmatch.NewIn("a", ctxmatch.I(2), ctxmatch.I(1), ctxmatch.I(2))
+	if len(in.Values) != 2 {
+		t.Errorf("NewIn should deduplicate: %v", in)
+	}
+	and := ctxmatch.NewAnd(
+		ctxmatch.Eq{Attr: "a", Value: ctxmatch.I(1)},
+		ctxmatch.Eq{Attr: "b", Value: ctxmatch.I(2)},
+	)
+	if got := and.String(); got != "a = 1 and b = 2" {
+		t.Errorf("And.String = %q", got)
+	}
+	or := ctxmatch.NewOr(ctxmatch.Eq{Attr: "a", Value: ctxmatch.I(1)}, ctxmatch.True{})
+	if len(or.Conds) != 2 {
+		t.Errorf("NewOr = %v", or)
+	}
+}

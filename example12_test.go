@@ -1,0 +1,170 @@
+package ctxmatch_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ctxmatch"
+)
+
+// TestExample12AttributeNormalization reproduces the paper's Example
+// 1.2: a price table with one row per (item, price code) must map onto
+// a target with separate regular-price and sale-price columns. A
+// standard matcher can at best find price → price; contextual matching
+// must discover
+//
+//	price.price → music.price [prcode = 'reg']
+//	price.price → music.sale  [prcode = 'sale']
+func TestExample12AttributeNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+
+	price := ctxmatch.NewTable("price",
+		ctxmatch.Attribute{Name: "id", Type: ctxmatch.Int},
+		ctxmatch.Attribute{Name: "prcode", Type: ctxmatch.String},
+		ctxmatch.Attribute{Name: "price", Type: ctxmatch.Real},
+	)
+	for i := 0; i < 250; i++ {
+		reg := 18 + rng.NormFloat64()*2
+		price.Append(ctxmatch.Tuple{
+			ctxmatch.I(i), ctxmatch.S("reg"), ctxmatch.F(reg),
+		})
+		// Sale prices run well below regular prices.
+		price.Append(ctxmatch.Tuple{
+			ctxmatch.I(i), ctxmatch.S("sale"), ctxmatch.F(reg * (0.5 + rng.Float64()*0.1)),
+		})
+	}
+
+	music := ctxmatch.NewTable("music",
+		ctxmatch.Attribute{Name: "price", Type: ctxmatch.Real},
+		ctxmatch.Attribute{Name: "sale", Type: ctxmatch.Real},
+	)
+	for i := 0; i < 200; i++ {
+		reg := 18 + rng.NormFloat64()*2
+		music.Append(ctxmatch.Tuple{
+			ctxmatch.F(reg), ctxmatch.F(reg * (0.5 + rng.Float64()*0.1)),
+		})
+	}
+
+	opt := ctxmatch.DefaultOptions()
+	opt.Inference = ctxmatch.SrcClassInfer
+	opt.EarlyDisjuncts = false // both code views must survive
+	opt.Tau = 0.4
+	res := ctxmatch.Match(
+		ctxmatch.NewSchema("RS", price),
+		ctxmatch.NewSchema("RT", music),
+		opt,
+	)
+
+	wantReg, wantSale := false, false
+	for _, m := range res.ContextualMatches() {
+		if m.SourceAttr != "price" {
+			continue
+		}
+		cond := m.Cond.String()
+		switch {
+		case m.TargetAttr == "price" && cond == "prcode = 'reg'":
+			wantReg = true
+		case m.TargetAttr == "sale" && cond == "prcode = 'sale'":
+			wantSale = true
+		case m.TargetAttr == "price" && cond == "prcode = 'sale'",
+			m.TargetAttr == "sale" && cond == "prcode = 'reg'":
+			t.Errorf("crossed condition: %v", m)
+		}
+	}
+	if !wantReg || !wantSale {
+		t.Errorf("Example 1.2 matches missing: reg=%v sale=%v", wantReg, wantSale)
+		for _, m := range res.Matches {
+			t.Logf("  %v", m)
+		}
+	}
+}
+
+// TestExplain exercises the per-matcher breakdown on the Example 1.2
+// tables.
+func TestExplain(t *testing.T) {
+	price := ctxmatch.NewTable("price",
+		ctxmatch.Attribute{Name: "price", Type: ctxmatch.Real},
+	)
+	music := ctxmatch.NewTable("music",
+		ctxmatch.Attribute{Name: "price", Type: ctxmatch.Real},
+		ctxmatch.Attribute{Name: "label", Type: ctxmatch.Text},
+	)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		price.Append(ctxmatch.Tuple{ctxmatch.F(10 + rng.NormFloat64())})
+		music.Append(ctxmatch.Tuple{
+			ctxmatch.F(10 + rng.NormFloat64()),
+			ctxmatch.S(fmt.Sprintf("label %d", i)),
+		})
+	}
+	tgt := ctxmatch.NewSchema("RT", music)
+	exps := ctxmatch.Explain(price, "price", tgt, "music", "price")
+	if len(exps) == 0 {
+		t.Fatal("no explanations")
+	}
+	seenNumeric := false
+	for _, e := range exps {
+		if e.Matcher == "numeric" {
+			seenNumeric = true
+			if e.Raw < 0.5 {
+				t.Errorf("numeric raw = %v, want high for identical distributions", e.Raw)
+			}
+		}
+		if e.Matcher == "value-ngram" {
+			t.Error("value-ngram is not applicable to numeric pairs")
+		}
+	}
+	if !seenNumeric {
+		t.Error("numeric matcher missing from explanation")
+	}
+	if exps2 := ctxmatch.Explain(price, "price", tgt, "missing", "price"); exps2 != nil {
+		t.Error("missing target table should explain nothing")
+	}
+}
+
+// TestMatchTargetFacade exercises the reversed entry point through the
+// public API.
+func TestMatchTargetFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Separate source tables; combined target.
+	reg := ctxmatch.NewTable("regular",
+		ctxmatch.Attribute{Name: "amount", Type: ctxmatch.Real},
+	)
+	sale := ctxmatch.NewTable("sale",
+		ctxmatch.Attribute{Name: "amount", Type: ctxmatch.Real},
+	)
+	combined := ctxmatch.NewTable("prices",
+		ctxmatch.Attribute{Name: "prcode", Type: ctxmatch.String},
+		ctxmatch.Attribute{Name: "amount", Type: ctxmatch.Real},
+	)
+	for i := 0; i < 200; i++ {
+		r := 18 + rng.NormFloat64()*2
+		s := r * 0.55
+		reg.Append(ctxmatch.Tuple{ctxmatch.F(r)})
+		sale.Append(ctxmatch.Tuple{ctxmatch.F(s)})
+		combined.Append(ctxmatch.Tuple{ctxmatch.S("reg"), ctxmatch.F(18 + rng.NormFloat64()*2)})
+		combined.Append(ctxmatch.Tuple{ctxmatch.S("sale"), ctxmatch.F((18 + rng.NormFloat64()*2) * 0.55)})
+	}
+	opt := ctxmatch.DefaultOptions()
+	opt.Inference = ctxmatch.SrcClassInfer
+	opt.EarlyDisjuncts = false
+	opt.Tau = 0.4
+	res := ctxmatch.MatchTarget(
+		ctxmatch.NewSchema("RS", reg, sale),
+		ctxmatch.NewSchema("RT", combined),
+		opt,
+	)
+	ctx := res.TargetContextualMatches()
+	if len(ctx) == 0 {
+		t.Fatal("no target contextual matches")
+	}
+	for _, m := range ctx {
+		if !m.Target.IsView() {
+			t.Errorf("target side should be a view: %v", m)
+		}
+		if m.Source.Name == "regular" && m.Cond.String() == "prcode = 'sale'" {
+			t.Errorf("crossed condition: %v", m)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Conjunctive: the §3.5 scenario. The target table is semantically
+// "non-fiction books", so the correct source condition is the
+// 2-condition `ItemType = 'book' AND Fiction = 0`. Simple 1-conditions
+// cannot express it; the iterative conjunctive search finds the
+// ItemType = 'book' view in stage one and refines it with Fiction = 0 in
+// stage two.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ctxmatch"
+)
+
+var bookWords = []string{"heart", "darkness", "history", "shadow", "garden",
+	"letters", "stone", "winter", "empire", "journey", "memory", "kingdom"}
+
+var cdWords = []string{"hotel", "california", "abbey", "road", "groove",
+	"night", "soul", "velvet", "neon", "rhythm", "boulevard", "static"}
+
+func title(rng *rand.Rand, words []string) string {
+	parts := make([]string, 2+rng.Intn(2))
+	for i := range parts {
+		parts[i] = words[rng.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}
+
+const asinAlphabet = "ABCDEFGHJKLMNPQRSTUVWXYZ0123456789"
+
+func asin(rng *rand.Rand) string {
+	b := []byte("B00")
+	for i := 0; i < 7; i++ {
+		b = append(b, asinAlphabet[rng.Intn(len(asinAlphabet))])
+	}
+	return string(b)
+}
+
+// catalogCode gives fiction and non-fiction books visibly different
+// catalog schemes so a classifier can tell them apart.
+func catalogCode(rng *rand.Rand, fiction bool) string {
+	if fiction {
+		b := []byte("fic/")
+		for i := 0; i < 8; i++ {
+			b = append(b, byte('a'+rng.Intn(26)))
+		}
+		return string(b)
+	}
+	return fmt.Sprintf("QA-%03d.%02d-%04d", rng.Intn(1000), rng.Intn(100), rng.Intn(10000))
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	inv := ctxmatch.NewTable("inv",
+		ctxmatch.Attribute{Name: "Title", Type: ctxmatch.Text},
+		ctxmatch.Attribute{Name: "ItemType", Type: ctxmatch.String},
+		ctxmatch.Attribute{Name: "Fiction", Type: ctxmatch.Int},
+		ctxmatch.Attribute{Name: "Code", Type: ctxmatch.String},
+	)
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			fic := (i / 2) % 2
+			inv.Append(ctxmatch.Tuple{
+				ctxmatch.S(title(rng, bookWords)), ctxmatch.S("book"),
+				ctxmatch.I(fic), ctxmatch.S(catalogCode(rng, fic == 1)),
+			})
+		} else {
+			inv.Append(ctxmatch.Tuple{
+				ctxmatch.S(title(rng, cdWords)), ctxmatch.S("cd"),
+				ctxmatch.I(rng.Intn(2)), ctxmatch.S(asin(rng)),
+			})
+		}
+	}
+
+	nonfiction := ctxmatch.NewTable("nonfiction_books",
+		ctxmatch.Attribute{Name: "title", Type: ctxmatch.Text},
+		ctxmatch.Attribute{Name: "code", Type: ctxmatch.String},
+	)
+	for i := 0; i < 200; i++ {
+		nonfiction.Append(ctxmatch.Tuple{
+			ctxmatch.S(title(rng, bookWords)),
+			ctxmatch.S(catalogCode(rng, false)),
+		})
+	}
+
+	source := ctxmatch.NewSchema("RS", inv)
+	target := ctxmatch.NewSchema("RT", nonfiction)
+
+	// Depth 1: only the 1-condition ItemType = 'book' can be found.
+	opt := ctxmatch.DefaultOptions()
+	opt.Inference = ctxmatch.SrcClassInfer
+	opt.Tau = 0.4 // the mixed code column matches tenuously (§3)
+	opt.MaxDepth = 1
+	res := ctxmatch.Match(source, target, opt)
+	fmt.Println("== depth 1 (simple conditions only) ==")
+	for _, m := range res.ContextualMatches() {
+		fmt.Printf("  %v\n", m)
+	}
+
+	// Depth 2: the second stage refines the stage-one view with the
+	// fresh attribute Fiction, finding the 2-condition.
+	opt.MaxDepth = 2
+	opt.Omega = 2
+	res = ctxmatch.Match(source, target, opt)
+	fmt.Println("\n== depth 2 (conjunctive refinement, §3.5) ==")
+	for _, m := range res.ContextualMatches() {
+		fmt.Printf("  %v\n", m)
+	}
+}

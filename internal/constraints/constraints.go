@@ -1,0 +1,186 @@
+// Package constraints implements §4.2 of the paper: keys, foreign keys,
+// the new contextual foreign keys relating views to base tables, mining
+// of all three from sample data, and the sound (but incomplete)
+// propagation inference rules that derive view constraints from base
+// constraints. Theorem 4.1 shows full propagation analysis is
+// undecidable, which is why the paper (and this package) combines mining
+// with a rule set rather than attempting completeness.
+package constraints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxmatch/internal/relational"
+)
+
+// Key is φ = R[X] → R: the X attributes uniquely identify a tuple.
+type Key struct {
+	Table string
+	Attrs []string
+}
+
+// String renders "R[x,y] → R".
+func (k Key) String() string {
+	return fmt.Sprintf("%s[%s] → %s", k.Table, strings.Join(k.Attrs, ","), k.Table)
+}
+
+// Equal reports whether two keys are identical up to attribute order.
+func (k Key) Equal(o Key) bool {
+	return k.Table == o.Table && sameSet(k.Attrs, o.Attrs)
+}
+
+// ForeignKey is ϕ = From[FromAttrs] ⊆ To[ToAttrs], where ToAttrs is a key
+// of To. From and To may be base tables or views.
+type ForeignKey struct {
+	From      string
+	FromAttrs []string
+	To        string
+	ToAttrs   []string
+}
+
+// String renders "R2[y] ⊆ R1[x]".
+func (f ForeignKey) String() string {
+	return fmt.Sprintf("%s[%s] ⊆ %s[%s]",
+		f.From, strings.Join(f.FromAttrs, ","),
+		f.To, strings.Join(f.ToAttrs, ","))
+}
+
+// Equal reports structural equality (attribute lists are ordered: the
+// i-th FromAttr references the i-th ToAttr).
+func (f ForeignKey) Equal(o ForeignKey) bool {
+	return f.From == o.From && f.To == o.To &&
+		sameList(f.FromAttrs, o.FromAttrs) && sameList(f.ToAttrs, o.ToAttrs)
+}
+
+// ContextualForeignKey is the paper's new constraint form:
+//
+//	V[FromAttrs, CondAttr = CondValue] ⊆ To[ToAttrs, ToAttr]
+//
+// For every tuple t1 of view V there must be a tuple t of To with
+// t1[FromAttrs] = t[ToAttrs] and t[ToAttr] = CondValue. CondAttr is an
+// attribute of V's base table that is not necessarily in att(V); its
+// value is pinned by V's selection condition (Example 4.1).
+type ContextualForeignKey struct {
+	From      string
+	FromAttrs []string
+	CondAttr  string
+	CondValue relational.Value
+	To        string
+	ToAttrs   []string
+	ToAttr    string
+}
+
+// String renders "V[name, assignt=1] ⊆ project[name, assignt]".
+func (c ContextualForeignKey) String() string {
+	return fmt.Sprintf("%s[%s, %s=%s] ⊆ %s[%s, %s]",
+		c.From, strings.Join(c.FromAttrs, ","), c.CondAttr, c.CondValue,
+		c.To, strings.Join(c.ToAttrs, ","), c.ToAttr)
+}
+
+// Equal reports structural equality.
+func (c ContextualForeignKey) Equal(o ContextualForeignKey) bool {
+	return c.From == o.From && c.To == o.To &&
+		c.CondAttr == o.CondAttr && c.CondValue.Equal(o.CondValue) &&
+		c.ToAttr == o.ToAttr &&
+		sameList(c.FromAttrs, o.FromAttrs) && sameList(c.ToAttrs, o.ToAttrs)
+}
+
+// Set is Σ: a collection of constraints over a schema (base tables and
+// views mixed).
+type Set struct {
+	Keys []Key
+	FKs  []ForeignKey
+	CFKs []ContextualForeignKey
+}
+
+// AddKey appends k if not already present.
+func (s *Set) AddKey(k Key) {
+	for _, e := range s.Keys {
+		if e.Equal(k) {
+			return
+		}
+	}
+	s.Keys = append(s.Keys, k)
+}
+
+// AddFK appends f if not already present.
+func (s *Set) AddFK(f ForeignKey) {
+	for _, e := range s.FKs {
+		if e.Equal(f) {
+			return
+		}
+	}
+	s.FKs = append(s.FKs, f)
+}
+
+// AddCFK appends c if not already present.
+func (s *Set) AddCFK(c ContextualForeignKey) {
+	for _, e := range s.CFKs {
+		if e.Equal(c) {
+			return
+		}
+	}
+	s.CFKs = append(s.CFKs, c)
+}
+
+// KeysOf returns the keys declared on the named table.
+func (s *Set) KeysOf(table string) []Key {
+	var out []Key
+	for _, k := range s.Keys {
+		if k.Table == table {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// HasKey reports whether attrs (as a set) is a declared key of table.
+func (s *Set) HasKey(table string, attrs []string) bool {
+	for _, k := range s.Keys {
+		if k.Table == table && sameSet(k.Attrs, attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the whole set, one constraint per line, sorted.
+func (s *Set) String() string {
+	var lines []string
+	for _, k := range s.Keys {
+		lines = append(lines, k.String())
+	}
+	for _, f := range s.FKs {
+		lines = append(lines, f.String())
+	}
+	for _, c := range s.CFKs {
+		lines = append(lines, c.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func sameList(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	return sameList(as, bs)
+}

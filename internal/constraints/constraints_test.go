@@ -1,0 +1,422 @@
+package constraints
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ctxmatch/internal/relational"
+)
+
+// projectTable builds Example 4.1's project relation:
+// project(name, assignt, grade, instructor) with key (name, assignt).
+func projectTable(students, assignts int) *relational.Table {
+	t := relational.NewTable("project",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "assignt", Type: relational.Int},
+		relational.Attribute{Name: "grade", Type: relational.String},
+		relational.Attribute{Name: "instructor", Type: relational.String},
+	)
+	grades := []string{"A", "B", "C", "D"}
+	for s := 0; s < students; s++ {
+		name := "student" + strings.Repeat("x", s%3) + string(rune('a'+s%26)) + itoa(s)
+		for a := 0; a < assignts; a++ {
+			t.Append(relational.Tuple{
+				relational.S(name),
+				relational.I(a),
+				relational.S(grades[(s+a)%len(grades)]),
+				relational.S("instructor" + itoa(a%2)),
+			})
+		}
+	}
+	return t
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func studentTable(students int) *relational.Table {
+	t := relational.NewTable("student",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "email", Type: relational.String},
+	)
+	for s := 0; s < students; s++ {
+		name := "student" + strings.Repeat("x", s%3) + string(rune('a'+s%26)) + itoa(s)
+		t.Append(relational.Tuple{relational.S(name), relational.S(name + "@uni.edu")})
+	}
+	return t
+}
+
+func TestStringRendering(t *testing.T) {
+	k := Key{Table: "project", Attrs: []string{"name", "assignt"}}
+	if k.String() != "project[name,assignt] → project" {
+		t.Errorf("Key.String = %q", k.String())
+	}
+	f := ForeignKey{From: "project", FromAttrs: []string{"name"}, To: "student", ToAttrs: []string{"name"}}
+	if f.String() != "project[name] ⊆ student[name]" {
+		t.Errorf("FK.String = %q", f.String())
+	}
+	c := ContextualForeignKey{
+		From: "V1", FromAttrs: []string{"name"},
+		CondAttr: "assignt", CondValue: relational.I(1),
+		To: "project", ToAttrs: []string{"name"}, ToAttr: "assignt",
+	}
+	if c.String() != "V1[name, assignt=1] ⊆ project[name, assignt]" {
+		t.Errorf("CFK.String = %q", c.String())
+	}
+}
+
+func TestEqualities(t *testing.T) {
+	k1 := Key{Table: "t", Attrs: []string{"a", "b"}}
+	k2 := Key{Table: "t", Attrs: []string{"b", "a"}}
+	if !k1.Equal(k2) {
+		t.Error("keys are attribute sets")
+	}
+	if k1.Equal(Key{Table: "t", Attrs: []string{"a"}}) {
+		t.Error("different widths must differ")
+	}
+	f1 := ForeignKey{From: "a", FromAttrs: []string{"x", "y"}, To: "b", ToAttrs: []string{"u", "v"}}
+	f2 := ForeignKey{From: "a", FromAttrs: []string{"y", "x"}, To: "b", ToAttrs: []string{"u", "v"}}
+	if f1.Equal(f2) {
+		t.Error("FK attribute lists are ordered")
+	}
+}
+
+func TestSetDeduplication(t *testing.T) {
+	s := &Set{}
+	k := Key{Table: "t", Attrs: []string{"a"}}
+	s.AddKey(k)
+	s.AddKey(Key{Table: "t", Attrs: []string{"a"}})
+	if len(s.Keys) != 1 {
+		t.Errorf("duplicate key added: %v", s.Keys)
+	}
+	f := ForeignKey{From: "a", FromAttrs: []string{"x"}, To: "b", ToAttrs: []string{"y"}}
+	s.AddFK(f)
+	s.AddFK(f)
+	if len(s.FKs) != 1 {
+		t.Error("duplicate FK added")
+	}
+	c := ContextualForeignKey{From: "v", FromAttrs: []string{"x"}, CondAttr: "a",
+		CondValue: relational.I(1), To: "r", ToAttrs: []string{"x"}, ToAttr: "a"}
+	s.AddCFK(c)
+	s.AddCFK(c)
+	if len(s.CFKs) != 1 {
+		t.Error("duplicate CFK added")
+	}
+	if !s.HasKey("t", []string{"a"}) || s.HasKey("t", []string{"b"}) {
+		t.Error("HasKey wrong")
+	}
+	if out := s.String(); !strings.Contains(out, "t[a] → t") {
+		t.Errorf("Set.String = %q", out)
+	}
+}
+
+func TestCheckKey(t *testing.T) {
+	p := projectTable(5, 3)
+	if !CheckKey(p, Key{Table: "project", Attrs: []string{"name", "assignt"}}) {
+		t.Error("(name, assignt) should be a key")
+	}
+	if CheckKey(p, Key{Table: "project", Attrs: []string{"name"}}) {
+		t.Error("name alone is not a key (one row per assignment)")
+	}
+	if CheckKey(p, Key{Table: "project", Attrs: []string{"missing"}}) {
+		t.Error("missing attribute cannot be a key")
+	}
+}
+
+func TestCheckKeyIgnoresNullTuples(t *testing.T) {
+	tab := relational.NewTable("t", relational.Attribute{Name: "a", Type: relational.Int})
+	tab.Append(relational.Tuple{relational.Null})
+	tab.Append(relational.Tuple{relational.Null})
+	tab.Append(relational.Tuple{relational.I(1)})
+	if !CheckKey(tab, Key{Table: "t", Attrs: []string{"a"}}) {
+		t.Error("NULLs should not violate key uniqueness")
+	}
+}
+
+func TestCheckFK(t *testing.T) {
+	p := projectTable(5, 3)
+	s := studentTable(5)
+	fk := ForeignKey{From: "project", FromAttrs: []string{"name"}, To: "student", ToAttrs: []string{"name"}}
+	if !CheckFK(p, s, fk) {
+		t.Error("project.name ⊆ student.name should hold")
+	}
+	// Remove one student: violation.
+	short := s.Restrict([]int{0, 1, 2, 3})
+	if CheckFK(p, short, fk) {
+		t.Error("FK should fail with a missing referenced tuple")
+	}
+	bad := ForeignKey{From: "project", FromAttrs: []string{"nope"}, To: "student", ToAttrs: []string{"name"}}
+	if CheckFK(p, s, bad) {
+		t.Error("missing attrs should fail")
+	}
+}
+
+func TestCheckCFKExample41(t *testing.T) {
+	// Example 4.1: Vi[name, assignt=i] ⊆ project[name, assignt].
+	p := projectTable(6, 4)
+	for i := 0; i < 4; i++ {
+		vi, err := p.Project("V"+itoa(i), []string{"name", "grade"},
+			relational.Eq{Attr: "assignt", Value: relational.I(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfk := ContextualForeignKey{
+			From: vi.Name, FromAttrs: []string{"name"},
+			CondAttr: "assignt", CondValue: relational.I(i),
+			To: "project", ToAttrs: []string{"name"}, ToAttr: "assignt",
+		}
+		if !CheckCFK(vi, p, cfk) {
+			t.Errorf("CFK for V%d should hold", i)
+		}
+		// A pinned value absent from the data must fail. (A different
+		// existing assignment would still satisfy the CFK here, because
+		// every student has a row for every assignment.)
+		wrong := cfk
+		wrong.CondValue = relational.I(99)
+		if CheckCFK(vi, p, wrong) {
+			t.Errorf("CFK with nonexistent pinned value should fail for V%d", i)
+		}
+	}
+}
+
+func TestMineKeys(t *testing.T) {
+	p := projectTable(6, 3)
+	keys := MineKeys(p, DefaultMineOptions())
+	if len(keys) == 0 {
+		t.Fatal("no keys mined")
+	}
+	foundComposite := false
+	for _, k := range keys {
+		if !CheckKey(p, k) {
+			t.Errorf("mined key does not hold: %v", k)
+		}
+		if k.Equal(Key{Table: "project", Attrs: []string{"name", "assignt"}}) {
+			foundComposite = true
+		}
+		if len(k.Attrs) == 1 {
+			t.Errorf("no single attribute should be a key here: %v", k)
+		}
+	}
+	if !foundComposite {
+		t.Errorf("(name, assignt) not mined: %v", keys)
+	}
+}
+
+func TestMineKeysMinimality(t *testing.T) {
+	s := studentTable(8)
+	keys := MineKeys(s, DefaultMineOptions())
+	// name and email are both unique; the composite (name,email) must
+	// not be reported because it is not minimal.
+	for _, k := range keys {
+		if len(k.Attrs) > 1 {
+			t.Errorf("non-minimal key mined: %v", k)
+		}
+	}
+	if len(keys) != 2 {
+		t.Errorf("want keys on name and email, got %v", keys)
+	}
+}
+
+func TestMineKeysSmallTableYieldsNothing(t *testing.T) {
+	tab := relational.NewTable("t", relational.Attribute{Name: "a", Type: relational.Int})
+	tab.Append(relational.Tuple{relational.I(1)})
+	if keys := MineKeys(tab, DefaultMineOptions()); keys != nil {
+		t.Errorf("tiny table mined keys: %v", keys)
+	}
+}
+
+func TestMineForeignKeys(t *testing.T) {
+	p := projectTable(5, 3)
+	s := studentTable(5)
+	schema := relational.NewSchema("RS", p, s)
+	set := Mine(schema, DefaultMineOptions())
+	want := ForeignKey{From: "project", FromAttrs: []string{"name"}, To: "student", ToAttrs: []string{"name"}}
+	found := false
+	for _, fk := range set.FKs {
+		if fk.Equal(want) {
+			found = true
+		}
+		from, to := schema.Table(fk.From), schema.Table(fk.To)
+		if !CheckFK(from, to, fk) {
+			t.Errorf("mined FK does not hold: %v", fk)
+		}
+	}
+	if !found {
+		t.Errorf("project.name ⊆ student.name not mined; got %v", set.FKs)
+	}
+}
+
+func TestPropagateContextualRules(t *testing.T) {
+	// Example 4.2: from key project[name, assignt] and views
+	// Vi = select name, grade from project where assignt = i, derive
+	// Vi[name] → Vi (contextual propagation) and the CFK
+	// Vi[name, assignt=i] ⊆ project[name, assignt] (contextual
+	// constraint); with the student FK, derive Vi[name] ⊆ student[name]
+	// (FK propagation).
+	p := projectTable(6, 3)
+	s := studentTable(6)
+	base := &Set{}
+	base.AddKey(Key{Table: "project", Attrs: []string{"name", "assignt"}})
+	base.AddKey(Key{Table: "student", Attrs: []string{"name"}})
+	base.AddFK(ForeignKey{From: "project", FromAttrs: []string{"name"}, To: "student", ToAttrs: []string{"name"}})
+
+	var views []*relational.Table
+	for i := 0; i < 3; i++ {
+		v, err := p.Project("V"+itoa(i), []string{"name", "grade"},
+			relational.Eq{Attr: "assignt", Value: relational.I(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	out := Propagate(base, views)
+
+	for i, v := range views {
+		if !out.HasKey(v.Name, []string{"name"}) {
+			t.Errorf("contextual propagation missed key on %s", v.Name)
+		}
+		wantCFK := ContextualForeignKey{
+			From: v.Name, FromAttrs: []string{"name"},
+			CondAttr: "assignt", CondValue: relational.I(i),
+			To: "project", ToAttrs: []string{"name"}, ToAttr: "assignt",
+		}
+		foundCFK := false
+		for _, c := range out.CFKs {
+			if c.Equal(wantCFK) {
+				foundCFK = true
+			}
+		}
+		if !foundCFK {
+			t.Errorf("contextual constraint missed for %s", v.Name)
+		}
+		wantFK := ForeignKey{From: v.Name, FromAttrs: []string{"name"}, To: "student", ToAttrs: []string{"name"}}
+		foundFK := false
+		for _, f := range out.FKs {
+			if f.Equal(wantFK) {
+				foundFK = true
+			}
+		}
+		if !foundFK {
+			t.Errorf("FK propagation missed for %s", v.Name)
+		}
+		// Soundness: every derived constraint holds on the instances.
+		if !CheckKey(v, Key{Table: v.Name, Attrs: []string{"name"}}) {
+			t.Errorf("derived key does not hold on %s", v.Name)
+		}
+		if !CheckCFK(v, p, wantCFK) {
+			t.Errorf("derived CFK does not hold on %s", v.Name)
+		}
+		if !CheckFK(v, s, wantFK) {
+			t.Errorf("derived FK does not hold on %s", v.Name)
+		}
+	}
+}
+
+func TestPropagateKeyRestriction(t *testing.T) {
+	s := studentTable(6)
+	base := &Set{}
+	base.AddKey(Key{Table: "student", Attrs: []string{"name"}})
+	v := s.Select("Vx", relational.Eq{Attr: "email", Value: relational.S("nobody@uni.edu")})
+	out := Propagate(base, []*relational.Table{v})
+	if !out.HasKey("Vx", []string{"name"}) {
+		t.Error("key restriction should propagate student[name] to the view")
+	}
+}
+
+func TestPropagateViewReferencing(t *testing.T) {
+	p := projectTable(6, 3)
+	base := &Set{}
+	base.AddKey(Key{Table: "project", Attrs: []string{"name", "assignt"}})
+	// A view whose disjunctive condition covers the whole active domain
+	// of assignt {0,1,2}: the base references the view.
+	total := p.Select("Vall", relational.NewIn("assignt",
+		relational.I(0), relational.I(1), relational.I(2)))
+	partial := p.Select("Vpart", relational.NewIn("assignt",
+		relational.I(0), relational.I(1)))
+	out := Propagate(base, []*relational.Table{total, partial})
+
+	wantFK := ForeignKey{From: "project", FromAttrs: []string{"name", "assignt"},
+		To: "Vall", ToAttrs: []string{"name", "assignt"}}
+	found := false
+	for _, f := range out.FKs {
+		if f.Equal(wantFK) {
+			found = true
+		}
+		if f.To == "Vpart" && f.From == "project" {
+			t.Errorf("partial view must not be referenced by the base: %v", f)
+		}
+	}
+	if !found {
+		t.Error("view referencing rule missed the total view")
+	}
+	if !CheckFK(p, total, wantFK) {
+		t.Error("derived view-referencing FK does not hold")
+	}
+}
+
+func TestPropagateIgnoresBaseTables(t *testing.T) {
+	s := studentTable(5)
+	base := &Set{}
+	base.AddKey(Key{Table: "student", Attrs: []string{"name"}})
+	out := Propagate(base, []*relational.Table{s}) // not a view
+	if len(out.Keys) != 1 || len(out.FKs) != 0 || len(out.CFKs) != 0 {
+		t.Errorf("base table should pass through untouched: %v", out)
+	}
+}
+
+// Property test: for random instances and random simple views, every
+// constraint Propagate derives holds on the materialized view instance
+// (soundness of the §4.2 rules).
+func TestPropagateSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		students := 3 + rng.Intn(8)
+		assignts := 2 + rng.Intn(4)
+		p := projectTable(students, assignts)
+		base := &Set{}
+		base.AddKey(Key{Table: "project", Attrs: []string{"name", "assignt"}})
+
+		i := rng.Intn(assignts)
+		var views []*relational.Table
+		if rng.Intn(2) == 0 {
+			v, err := p.Project("V", []string{"name", "grade"},
+				relational.Eq{Attr: "assignt", Value: relational.I(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			views = append(views, v)
+		} else {
+			views = append(views, p.Select("V",
+				relational.Eq{Attr: "assignt", Value: relational.I(i)}))
+		}
+		out := Propagate(base, views)
+		v := views[0]
+		for _, k := range out.KeysOf("V") {
+			if !CheckKey(v, k) {
+				t.Fatalf("trial %d: derived key %v violated", trial, k)
+			}
+		}
+		for _, c := range out.CFKs {
+			if c.From == "V" && !CheckCFK(v, p, c) {
+				t.Fatalf("trial %d: derived CFK %v violated", trial, c)
+			}
+		}
+		for _, f := range out.FKs {
+			if f.From == "V" {
+				if !CheckFK(v, p, f) {
+					t.Fatalf("trial %d: derived FK %v violated", trial, f)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package constraints
+
+import (
+	"ctxmatch/internal/relational"
+)
+
+// MineOptions tunes constraint mining.
+type MineOptions struct {
+	// MaxKeyWidth bounds mined composite keys (Clio-style mining rarely
+	// needs more than 2).
+	MaxKeyWidth int
+	// MinRows is the minimum instance size for mining to be meaningful;
+	// smaller tables yield no constraints rather than spurious ones.
+	MinRows int
+}
+
+// DefaultMineOptions mines keys up to width 2 on tables with at least 4
+// rows.
+func DefaultMineOptions() MineOptions {
+	return MineOptions{MaxKeyWidth: 2, MinRows: 4}
+}
+
+// MineKeys discovers minimal keys of the table's sample instance: first
+// all single-attribute keys, then pairs neither of whose members is
+// already a key, up to MaxKeyWidth. Mining from samples is how Clio
+// obtains constraints when the schema declares none (§4.1); the result
+// is a heuristic that holds on the sample, not a certainty.
+func MineKeys(t *relational.Table, opt MineOptions) []Key {
+	if t.Len() < opt.MinRows {
+		return nil
+	}
+	var out []Key
+	isKey := map[string]bool{}
+	for _, a := range t.Attrs {
+		k := Key{Table: t.Name, Attrs: []string{a.Name}}
+		if CheckKey(t, k) {
+			out = append(out, k)
+			isKey[a.Name] = true
+		}
+	}
+	if opt.MaxKeyWidth < 2 {
+		return out
+	}
+	for i := 0; i < len(t.Attrs); i++ {
+		for j := i + 1; j < len(t.Attrs); j++ {
+			ai, aj := t.Attrs[i].Name, t.Attrs[j].Name
+			if isKey[ai] || isKey[aj] {
+				continue // not minimal
+			}
+			k := Key{Table: t.Name, Attrs: []string{ai, aj}}
+			if CheckKey(t, k) {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// MineForeignKeys discovers single-attribute inclusion dependencies
+// Y ⊆ X between tables of the schema where X is a mined key, as Clio's
+// constraint-mining step does. keys must cover every table of interest
+// (use MineKeys per table). Self-references are skipped, as are pairs
+// with incompatible value domains.
+func MineForeignKeys(s *relational.Schema, keys []Key, opt MineOptions) []ForeignKey {
+	var out []ForeignKey
+	for _, from := range s.Tables {
+		if from.Len() < opt.MinRows {
+			continue
+		}
+		for _, k := range keys {
+			if len(k.Attrs) != 1 || k.Table == from.Name {
+				continue
+			}
+			to := s.Table(k.Table)
+			if to == nil {
+				continue
+			}
+			toAttr, ok := to.Attr(k.Attrs[0])
+			if !ok {
+				continue
+			}
+			for _, fa := range from.Attrs {
+				if fa.Type.Domain() != toAttr.Type.Domain() {
+					continue
+				}
+				fk := ForeignKey{
+					From: from.Name, FromAttrs: []string{fa.Name},
+					To: to.Name, ToAttrs: []string{k.Attrs[0]},
+				}
+				if CheckFK(from, to, fk) {
+					out = append(out, fk)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mine runs key mining on every table of the schema followed by foreign
+// key mining, returning a constraint set as Clio's mining tools would.
+func Mine(s *relational.Schema, opt MineOptions) *Set {
+	set := &Set{}
+	var allKeys []Key
+	for _, t := range s.Tables {
+		ks := MineKeys(t, opt)
+		allKeys = append(allKeys, ks...)
+		for _, k := range ks {
+			set.AddKey(k)
+		}
+	}
+	for _, fk := range MineForeignKeys(s, allKeys, opt) {
+		set.AddFK(fk)
+	}
+	return set
+}

@@ -1,0 +1,187 @@
+package constraints
+
+import (
+	"ctxmatch/internal/relational"
+)
+
+// condEq extracts (attr, value) from a simple selection condition a = v;
+// ok is false for any other condition shape.
+func condEq(c relational.Condition) (attr string, v relational.Value, ok bool) {
+	eq, isEq := c.(relational.Eq)
+	if !isEq {
+		return "", relational.Null, false
+	}
+	return eq.Attr, eq.Value, true
+}
+
+// condDisjunct extracts (attr, values) from a simple-disjunctive
+// condition a = v1 or … or a = vn (an In condition or an Or of Eqs over
+// a single attribute). A plain Eq counts as a one-value disjunction.
+func condDisjunct(c relational.Condition) (attr string, vals []relational.Value, ok bool) {
+	switch cc := c.(type) {
+	case relational.Eq:
+		return cc.Attr, []relational.Value{cc.Value}, true
+	case relational.In:
+		return cc.Attr, cc.Values, true
+	case relational.Or:
+		for _, sub := range cc.Conds {
+			eq, isEq := sub.(relational.Eq)
+			if !isEq {
+				return "", nil, false
+			}
+			if attr == "" {
+				attr = eq.Attr
+			} else if attr != eq.Attr {
+				return "", nil, false
+			}
+			vals = append(vals, eq.Value)
+		}
+		return attr, vals, attr != ""
+	default:
+		return "", nil, false
+	}
+}
+
+// viewAttrs returns the attribute names visible in the view (its
+// projection, or all base attributes for select-only views).
+func viewAttrs(v *relational.Table) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range v.Attrs {
+		out[a.Name] = true
+	}
+	return out
+}
+
+func subset(attrs []string, of map[string]bool) bool {
+	for _, a := range attrs {
+		if !of[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Propagate derives constraints on the given views from the base
+// constraint set using the §4.2 inference rules. The rules are sound but
+// not complete (Theorem 4.1: completeness is undecidable). The returned
+// set contains the base constraints plus everything derived.
+//
+// Rules implemented (names from the paper; the paper prints a subset "due
+// to space constraints" and the remainder follow the same pattern):
+//
+//   - key restriction: R[X] → R, X ⊆ att(V)  ⟹  V[X] → V.
+//     Selection and projection cannot introduce duplicate X-values.
+//   - contextual propagation: R[X,a] → R, cond(V) is a = v, X ⊆ att(V)
+//     ⟹ V[X] → V. Inside the view, a is constant, so X alone
+//     identifies tuples.
+//   - contextual constraint: R[X,a] → R, cond(V) is a = v, X ⊆ att(V)
+//     ⟹ V[X, a=v] ⊆ R[X, a], a contextual foreign key.
+//   - view referencing: R[X] → R, X ⊆ att(V), a ∈ X, cond(V) is
+//     a = v1 or … or a = vn with {v1…vn} ⊇ the active domain of a
+//     ⟹ R[X] ⊆ V[X] (the view is total, so the base references it).
+//   - FK propagation: R1[Y] ⊆ R2[X] on bases, V defined on R1,
+//     Y ⊆ att(V) ⟹ V[Y] ⊆ R2[X].
+func Propagate(base *Set, views []*relational.Table) *Set {
+	out := &Set{}
+	out.Keys = append(out.Keys, base.Keys...)
+	out.FKs = append(out.FKs, base.FKs...)
+	out.CFKs = append(out.CFKs, base.CFKs...)
+
+	for _, v := range views {
+		if !v.IsView() {
+			continue
+		}
+		r := v.Base // immediate base; nested views propagate stepwise
+		visible := viewAttrs(v)
+
+		// key restriction.
+		for _, k := range base.KeysOf(r.Name) {
+			if subset(k.Attrs, visible) {
+				out.AddKey(Key{Table: v.Name, Attrs: append([]string(nil), k.Attrs...)})
+			}
+		}
+
+		if attr, val, ok := condEq(v.Cond); ok {
+			for _, k := range base.KeysOf(r.Name) {
+				// Split key attrs into X (everything but the condition
+				// attribute); the rule needs a ∈ key.
+				var x []string
+				hasA := false
+				for _, ka := range k.Attrs {
+					if ka == attr {
+						hasA = true
+						continue
+					}
+					x = append(x, ka)
+				}
+				if !hasA || len(x) == 0 || !subset(x, visible) {
+					continue
+				}
+				// contextual propagation.
+				out.AddKey(Key{Table: v.Name, Attrs: x})
+				// contextual constraint.
+				out.AddCFK(ContextualForeignKey{
+					From: v.Name, FromAttrs: x,
+					CondAttr: attr, CondValue: val,
+					To: r.Name, ToAttrs: x, ToAttr: attr,
+				})
+			}
+		}
+
+		// view referencing.
+		if attr, vals, ok := condDisjunct(v.Cond); ok {
+			if coversDomain(r, attr, vals) {
+				for _, k := range base.KeysOf(r.Name) {
+					if !contains(k.Attrs, attr) || !subset(k.Attrs, visible) {
+						continue
+					}
+					out.AddFK(ForeignKey{
+						From: r.Name, FromAttrs: append([]string(nil), k.Attrs...),
+						To: v.Name, ToAttrs: append([]string(nil), k.Attrs...),
+					})
+					// The view's X is also a key of the view itself in
+					// this total case only if X was a base key, which it
+					// is; record it so the FK is well-formed.
+					out.AddKey(Key{Table: v.Name, Attrs: append([]string(nil), k.Attrs...)})
+				}
+			}
+		}
+
+		// FK propagation.
+		for _, fk := range base.FKs {
+			if fk.From != r.Name || !subset(fk.FromAttrs, visible) {
+				continue
+			}
+			out.AddFK(ForeignKey{
+				From: v.Name, FromAttrs: append([]string(nil), fk.FromAttrs...),
+				To: fk.To, ToAttrs: append([]string(nil), fk.ToAttrs...),
+			})
+		}
+	}
+	return out
+}
+
+// coversDomain reports whether vals covers every distinct value the base
+// sample takes for attr (the "domain of a is exactly {v1…vn}" side
+// condition of view referencing, read against the active domain).
+func coversDomain(r *relational.Table, attr string, vals []relational.Value) bool {
+	have := map[string]bool{}
+	for _, v := range vals {
+		have[v.Key()] = true
+	}
+	for _, v := range r.DistinctValues(attr) {
+		if !have[v.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(list []string, s string) bool {
+	for _, e := range list {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// ScoredCandidate is one entry of the candidate list RL of Figure 5: a
+// prototype match re-scored under a candidate view condition.
+type ScoredCandidate struct {
+	Match match.Match // Source is the view, Cond its condition
+	// Base is the prototype (unconditioned) match the candidate was
+	// derived from.
+	Base match.Match
+}
+
+// Improvement returns δc of §3: the candidate's confidence gain over its
+// base match, in percentage points.
+func (s ScoredCandidate) Improvement() float64 {
+	return 100 * (s.Match.Confidence - s.Base.Confidence)
+}
+
+// Result is the full output of one ContextMatch run.
+type Result struct {
+	// Matches is M of Figure 5: the selected contextual matches.
+	Matches []match.Match
+	// Standard is the accepted output of StandardMatch, kept so callers
+	// can compare what context added.
+	Standard []match.Match
+	// Candidates is RL: every view-conditioned rescoring that was
+	// considered, for diagnostics and the strawman analysis.
+	Candidates []ScoredCandidate
+	// Families are the well-clustered view families that generated the
+	// candidate conditions (empty under NaiveInfer).
+	Families []ViewFamily
+	// Elapsed is the wall-clock time of the run, the quantity charted by
+	// the paper's performance figures.
+	Elapsed time.Duration
+}
+
+// ContextualMatches returns only the matches that originate from views —
+// the edges §5 evaluates ("only edges originating from views are
+// considered").
+func (r *Result) ContextualMatches() []match.Match {
+	var out []match.Match
+	for _, m := range r.Matches {
+		if m.Source.IsView() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ContextMatch implements Algorithm ContextMatch (Figure 5) over whole
+// schemas, plus the conjunctive iteration of §3.5 when opt.MaxDepth > 1.
+// Candidate generation and scoring (lines 3-11) run per source table;
+// match selection (line 12) runs globally so that QualTable can choose
+// the best source table per target table.
+func ContextMatch(src, tgt *relational.Schema, opt Options) *Result {
+	start := time.Now()
+	res := &Result{}
+	var protos []match.Match
+	var rl []ScoredCandidate
+	for _, rs := range src.Tables {
+		p, r := matchTable(rs, tgt, opt, res)
+		protos = append(protos, p...)
+		rl = append(rl, r...)
+	}
+	res.Standard = protos
+	res.Candidates = rl
+	res.Matches = selectContextualMatches(protos, rl, opt) // line 12
+	if opt.MaxDepth > 1 {
+		conjunctiveStages(tgt, opt, res)
+	}
+	match.SortMatches(res.Matches)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// matchTable runs lines 3-11 of Figure 5 for one source table: prototype
+// matches via StandardMatch, candidate conditions via
+// InferCandidateViews, and the scoring loop that fills RL.
+func matchTable(rs *relational.Table, tgt *relational.Schema, opt Options, res *Result) ([]match.Match, []ScoredCandidate) {
+	bound := opt.engine().Bind(rs, tgt)
+	protos := bound.StandardMatches(opt.Tau) // line 4
+
+	cands := InferCandidateViews(rs, tgt, len(protos) > 0, opt) // line 5
+	for _, c := range cands {
+		if c.Family != nil {
+			res.Families = appendFamily(res.Families, *c.Family)
+		}
+	}
+	return protos, scoreCandidates(rs, bound, protos, cands, opt) // lines 6-11
+}
+
+// scoreCandidates evaluates every prototype match under every candidate
+// condition (lines 6-11 of Figure 5). A match is scored only as a
+// conditioned version of a StandardMatch output.
+func scoreCandidates(rs *relational.Table, bound *match.Bound, protos []match.Match, cands []Candidate, opt Options) []ScoredCandidate {
+	var rl []ScoredCandidate
+	for _, c := range cands {
+		view := rs.Select(viewName(rs, c.Cond), c.Cond) // line 7
+		if view.Len() == 0 {
+			continue
+		}
+		for _, proto := range protos { // line 8
+			score, conf := bound.Score(view, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
+			m := proto // line 9: m' is m with RS replaced by Vc
+			m.Source = view
+			m.Cond = c.Cond
+			m.Score = score
+			m.Confidence = conf
+			rl = append(rl, ScoredCandidate{Match: m, Base: proto})
+		}
+	}
+	return rl
+}
+
+// viewName builds a readable, SQL-identifier-safe name for an inferred
+// view, e.g. "grades_narrow__examNum_2" for examNum = 2.
+func viewName(rs *relational.Table, c relational.Condition) string {
+	var b strings.Builder
+	b.WriteString(rs.Name)
+	b.WriteString("__")
+	lastUnderscore := true
+	for _, r := range c.String() {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// selectContextualMatches dispatches to the configured §3.4 policy.
+func selectContextualMatches(protos []match.Match, rl []ScoredCandidate, opt Options) []match.Match {
+	switch opt.Selection {
+	case MultiTable:
+		return selectMultiTable(protos, rl)
+	default:
+		return selectQualTable(protos, rl, opt)
+	}
+}
+
+// selectMultiTable implements the MultiTable policy of §3.4: for every
+// target attribute keep the single highest-confidence contextual match,
+// regardless of source consistency. Following the strawman of §3, a
+// conditioned match replaces its base match whenever one exists (the
+// strawman "uses (RS.s, RT.t, c+) in place of Mi"); a base match
+// survives only for target attributes no candidate view reached. The
+// resulting mixing of sources and conditions per attribute is the
+// policy's documented weakness (Figure 11).
+func selectMultiTable(protos []match.Match, rl []ScoredCandidate) []match.Match {
+	best := map[relational.AttrRef]match.Match{}
+	for _, c := range rl {
+		key := relational.AttrRef{Table: c.Match.Target.Name, Attr: c.Match.TargetAttr}
+		if prev, ok := best[key]; !ok || c.Match.Confidence > prev.Confidence {
+			best[key] = c.Match
+		}
+	}
+	for _, p := range protos {
+		key := relational.AttrRef{Table: p.Target.Name, Attr: p.TargetAttr}
+		if _, ok := best[key]; !ok {
+			best[key] = p
+		}
+	}
+	out := make([]match.Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	match.SortMatches(out)
+	return out
+}
+
+// improvementEpsilon is the minimum raw-score gain (1 = 100 points) a
+// rescored match must show before it counts as improved by a view;
+// smaller movements are sampling noise.
+const improvementEpsilon = 0.02
+
+// selectQualTable implements the QualTable policy of §3.4. For each
+// target table it first selects the source table that maximizes the
+// total confidence of prototype matches into it, then replaces that base
+// table with whichever of its candidate views improve the table-level
+// match quality by at least ω (all of them under LateDisjuncts, only the
+// single best one under EarlyDisjuncts).
+//
+// Table-level improvement is measured over the matches between the
+// (view or base) table and RT — the matches whose rescored confidence
+// still clears τ. A correct view typically destroys the matches
+// belonging to the other contexts (an exam-1 view should no longer
+// match grade5), so comparing totals over the fixed prototype set would
+// penalize exactly the right views; the surviving match set is what
+// "the matches between Vc and RT" denotes. The ω statistic is the
+// average raw-score gain over the survivors the view strictly improved
+// (by more than improvementEpsilon): raw scores rather than confidences
+// because Φ saturates near 1 and hides real evidence gains, gains-only
+// because junk-to-junk matches that a view leaves untouched must not
+// dilute the statistic on wide schemas, and ε-thresholded so that
+// sampling noise cannot pass for improvement (the §3 significance
+// concern).
+func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []match.Match {
+	// Group prototype matches by (target table, source table).
+	type srcTotal struct {
+		matches    []match.Match
+		total      float64 // summed confidence (source-table selection)
+		scoreTotal float64 // summed raw score (ω comparison)
+	}
+	byTarget := map[string]map[string]*srcTotal{}
+	for _, p := range protos {
+		srcs := byTarget[p.Target.Name]
+		if srcs == nil {
+			srcs = map[string]*srcTotal{}
+			byTarget[p.Target.Name] = srcs
+		}
+		sname := p.Source.Root().Name
+		st := srcs[sname]
+		if st == nil {
+			st = &srcTotal{}
+			srcs[sname] = st
+		}
+		st.matches = append(st.matches, p)
+		st.total += p.Confidence
+		st.scoreTotal += p.Score
+	}
+	// Index candidates: target table -> source table -> condition ->
+	// group of surviving matches (rescored confidence still ≥ τ).
+	// gains/improved accumulate over the survivors whose raw score rose
+	// by more than improvementEpsilon: matches untouched by the
+	// condition stay out of the statistic (so wide schemas full of
+	// junk-to-junk matches do not dilute it), matches the view destroys
+	// leave the group entirely (they are no longer matches between Vc
+	// and RT), and sampling noise below ε cannot masquerade as
+	// improvement — the significance concern of §3.
+	type viewGroup struct {
+		cond     relational.Condition
+		matches  []match.Match
+		gains    float64
+		improved int
+		viewSize int
+	}
+	byTargetSrcCond := map[string]map[string]map[string]*viewGroup{}
+	for _, c := range rl {
+		if c.Match.Confidence < opt.Tau {
+			continue // no longer a match between Vc and RT
+		}
+		tname := c.Match.Target.Name
+		sname := c.Match.Source.Root().Name
+		srcs := byTargetSrcCond[tname]
+		if srcs == nil {
+			srcs = map[string]map[string]*viewGroup{}
+			byTargetSrcCond[tname] = srcs
+		}
+		conds := srcs[sname]
+		if conds == nil {
+			conds = map[string]*viewGroup{}
+			srcs[sname] = conds
+		}
+		key := c.Match.Cond.String()
+		g := conds[key]
+		if g == nil {
+			g = &viewGroup{cond: c.Match.Cond, viewSize: c.Match.Source.Len()}
+			conds[key] = g
+		}
+		g.matches = append(g.matches, c.Match)
+		if delta := c.Match.Score - c.Base.Score; delta > improvementEpsilon {
+			g.gains += delta
+			g.improved++
+		}
+	}
+
+	var out []match.Match
+	for tname, srcs := range byTarget {
+		// Pick the source table with the highest total base confidence;
+		// ties break lexicographically for determinism.
+		bestSrc, bestTotal := "", -1.0
+		for sname, st := range srcs {
+			if st.total > bestTotal || (st.total == bestTotal && sname < bestSrc) {
+				bestSrc, bestTotal = sname, st.total
+			}
+		}
+		base := srcs[bestSrc].matches
+
+		var winners []*viewGroup
+		groups := byTargetSrcCond[tname][bestSrc]
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var bestImp float64
+		var bestSize int
+		for _, k := range keys {
+			g := groups[k]
+			if g.improved == 0 {
+				continue
+			}
+			// Improvement in points: the average raw-score gain over the
+			// matches the view actually sharpened.
+			imp := 100 * g.gains / float64(g.improved)
+			if imp < opt.Omega {
+				continue
+			}
+			if opt.EarlyDisjuncts {
+				// Single best view; ties prefer the view with more
+				// supporting rows (the fuller disjunction).
+				if len(winners) == 0 || imp > bestImp ||
+					(imp == bestImp && g.viewSize > bestSize) {
+					winners = []*viewGroup{g}
+					bestImp, bestSize = imp, g.viewSize
+				}
+				continue
+			}
+			winners = append(winners, g)
+		}
+		if len(winners) == 0 {
+			// No view improves enough: the base matches stand.
+			out = append(out, base...)
+			continue
+		}
+		for _, g := range winners {
+			out = append(out, g.matches...)
+		}
+	}
+	match.SortMatches(out)
+	return out
+}
+
+// conjunctiveStages implements §3.5: repeatedly re-run inference treating
+// the views selected in the previous stage as base tables, restricting
+// partitioning to attributes not already mentioned in the view condition.
+func conjunctiveStages(tgt *relational.Schema, opt Options, res *Result) {
+	current := res.ContextualMatches()
+	for depth := 2; depth <= opt.MaxDepth; depth++ {
+		// Collect the distinct views selected at the previous stage.
+		views := map[string]*relational.Table{}
+		protosByView := map[string][]match.Match{}
+		for _, m := range current {
+			views[m.Source.Name] = m.Source
+			protosByView[m.Source.Name] = append(protosByView[m.Source.Name], m)
+		}
+		var next []match.Match
+		for name, view := range views {
+			protos := protosByView[name]
+			used := map[string]bool{}
+			if view.Cond != nil {
+				for _, a := range view.Cond.Attrs() {
+					used[a] = true
+				}
+			}
+			stage := stageMatches(view, used, tgt, protos, opt)
+			next = append(next, stage...)
+		}
+		if len(next) == 0 {
+			return
+		}
+		res.Matches = append(res.Matches, next...)
+		current = next
+	}
+}
+
+// stageMatches scores refinements of one selected view: candidate
+// conditions over categorical attributes not already used, conjoined
+// with the view's own condition.
+func stageMatches(view *relational.Table, used map[string]bool, tgt *relational.Schema, protos []match.Match, opt Options) []match.Match {
+	base := view.Root()
+	bound := opt.engine().Bind(base, tgt)
+	var rl []ScoredCandidate
+	for _, c := range InferCandidateViews(view, tgt, len(protos) > 0, opt) {
+		skip := false
+		for _, a := range c.Cond.Attrs() {
+			if used[a] {
+				skip = true // §3.5(b): only fresh attributes partition
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		cond := relational.NewAnd(view.Cond, c.Cond)
+		refined := base.Select(viewName(base, cond), cond)
+		if refined.Len() == 0 {
+			continue
+		}
+		for _, proto := range protos {
+			score, conf := bound.Score(refined, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
+			m := proto
+			m.Source = refined
+			m.Cond = cond
+			m.Score = score
+			m.Confidence = conf
+			rl = append(rl, ScoredCandidate{Match: m, Base: proto})
+		}
+	}
+	return selectRefinements(protos, rl, opt)
+}
+
+// selectRefinements applies a QualTable-style acceptance rule to
+// conjunction candidates. Because the previous stage's confidences
+// typically sit near Φ≈1 (the CDF saturates), a refinement is judged on
+// its total raw-score improvement instead: it must raise the summed raw
+// matcher score across the table's matches by at least ω points (×100)
+// without materially lowering total confidence. The paper describes the conjunctive
+// search but leaves its evaluation as future work, so this acceptance
+// rule is ours; it keeps the same "total improvement over a whole table"
+// character as §3.4.
+func selectRefinements(protos []match.Match, rl []ScoredCandidate, opt Options) []match.Match {
+	var baseScore, baseConf float64
+	for _, p := range protos {
+		baseScore += p.Score
+		baseConf += p.Confidence
+	}
+	type group struct {
+		matches []match.Match
+		score   float64
+		conf    float64
+	}
+	groups := map[string]*group{}
+	for _, c := range rl {
+		key := c.Match.Cond.String()
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		g.matches = append(g.matches, c.Match)
+		g.score += c.Match.Score
+		g.conf += c.Match.Confidence
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var winners []*group
+	var bestImp float64
+	for _, k := range keys {
+		g := groups[k]
+		imp := 100 * (g.score - baseScore)
+		// The confidence guard tolerates 5% slack: near Φ≈1, confidences
+		// jitter by fractions of a point and must not veto a refinement
+		// whose raw evidence clearly improved.
+		if imp < opt.Omega || g.conf < baseConf*0.95 {
+			continue
+		}
+		if opt.EarlyDisjuncts {
+			if len(winners) == 0 || imp > bestImp {
+				winners = []*group{g}
+				bestImp = imp
+			}
+			continue
+		}
+		winners = append(winners, g)
+	}
+	var out []match.Match
+	for _, g := range winners {
+		out = append(out, g.matches...)
+	}
+	match.SortMatches(out)
+	return out
+}
+
+func appendFamily(fams []ViewFamily, f ViewFamily) []ViewFamily {
+	for _, existing := range fams {
+		if existing.key() == f.key() {
+			return fams
+		}
+	}
+	return append(fams, f)
+}

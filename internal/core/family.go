@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ctxmatch/internal/classify"
+	"ctxmatch/internal/relational"
+	"ctxmatch/internal/stats"
+)
+
+// ValueGroup is one cell of a view family's partition of a categorical
+// attribute's values: a singleton for a simple condition, larger after
+// EarlyDisjuncts merging.
+type ValueGroup []relational.Value
+
+// Condition renders the group as a selection condition on attr: Eq for a
+// singleton, In for a merged group.
+func (g ValueGroup) Condition(attr string) relational.Condition {
+	if len(g) == 1 {
+		return relational.Eq{Attr: attr, Value: g[0]}
+	}
+	return relational.NewIn(attr, g...)
+}
+
+// ViewFamily is F = (R, l, {Vi}) of §3.2.2: a partition of R's tuples
+// into views by the values of categorical attribute l. Groups holds one
+// value set per view; the family is "well-clustered" when some
+// non-categorical attribute h predicts the group significantly better
+// than the naive baseline.
+type ViewFamily struct {
+	Table  *relational.Table
+	Attr   string // the categorical attribute l
+	Groups []ValueGroup
+	// Evidence is the non-categorical attribute h whose classifier
+	// certified the family.
+	Evidence string
+	// Significance is Φ((c-µ)/σ) from the §3.2.2 test.
+	Significance float64
+}
+
+// Conditions returns one condition per view in the family.
+func (f ViewFamily) Conditions() []relational.Condition {
+	out := make([]relational.Condition, len(f.Groups))
+	for i, g := range f.Groups {
+		out[i] = g.Condition(f.Attr)
+	}
+	return out
+}
+
+// String renders the family compactly for diagnostics.
+func (f ViewFamily) String() string {
+	parts := make([]string, len(f.Groups))
+	for i, g := range f.Groups {
+		vs := make([]string, len(g))
+		for j, v := range g {
+			vs[j] = v.String()
+		}
+		parts[i] = "{" + strings.Join(vs, ",") + "}"
+	}
+	return fmt.Sprintf("family(%s.%s: %s by %s, sig %.3f)",
+		f.Table.Name, f.Attr, strings.Join(parts, " "), f.Evidence, f.Significance)
+}
+
+// labelClassifier abstracts "the classifier Ch" of Figure 6: something
+// that can be trained to predict a label (a categorical value group) from
+// the value of attribute h. SrcClassInfer and TgtClassInfer provide the
+// two implementations of §3.2.3 and §3.2.4.
+type labelClassifier interface {
+	// Train consumes one (h-value, label) training pair.
+	Train(v relational.Value, label string)
+	// Finish is called once after all training pairs, before Predict.
+	Finish()
+	// Predict returns a label for an unseen h-value.
+	Predict(v relational.Value) string
+}
+
+// classifierFactory builds a fresh labelClassifier for attribute h of
+// table t. It is re-invoked on every (re)training pass of the merge loop.
+type classifierFactory func(t *relational.Table, h string) labelClassifier
+
+// clusterConfig carries the fixed parameters of ClusteredViewGen.
+type clusterConfig struct {
+	threshold      float64 // T, typically 0.95
+	trainFrac      float64
+	earlyDisjuncts bool
+	factory        classifierFactory
+}
+
+// clusteredViewGen implements Algorithm ClusteredViewGen (Figure 6) for a
+// single table, extended with the EarlyDisjuncts error-merging loop of
+// §3.3 when cfg.earlyDisjuncts is set. It returns every view family whose
+// classifier beat the naive baseline at significance T.
+func clusteredViewGen(r *relational.Table, cfg clusterConfig, rng *rand.Rand) []ViewFamily {
+	nonCat := r.NonCategoricalAttrs()
+	cat := r.CategoricalAttrs()
+	if len(nonCat) == 0 || len(cat) == 0 || r.Len() < 4 {
+		return nil
+	}
+	train, test := relational.Split(r, cfg.trainFrac, rng)
+	var out []ViewFamily
+	for _, l := range cat {
+		for _, h := range nonCat {
+			if h == l {
+				continue
+			}
+			out = append(out, evaluatePair(r, train, test, h, l, cfg)...)
+		}
+	}
+	return dedupFamilies(out)
+}
+
+// evaluatePair runs doTraining/doTesting for one (h, l) pair and, under
+// EarlyDisjuncts, iterates the §3.3 merge loop. Each significant grouping
+// yields one ViewFamily.
+func evaluatePair(r, train, test *relational.Table, h, l string, cfg clusterConfig) []ViewFamily {
+	values := train.DistinctValues(l)
+	if len(values) < 2 {
+		return nil
+	}
+	// groups starts as the singleton partition; the merge loop coarsens
+	// it. labelOf maps a categorical value key to its group index.
+	groups := make([]ValueGroup, len(values))
+	for i, v := range values {
+		groups[i] = ValueGroup{v}
+	}
+
+	var out []ViewFamily
+	for {
+		res := trainAndTest(train, test, h, l, groups, cfg.factory)
+		if res.ntest == 0 {
+			return out
+		}
+		sig := stats.SignificanceAgainstNaive(res.correct, res.ntest, res.naiveP)
+		if sig > cfg.threshold {
+			out = append(out, ViewFamily{
+				Table:        r,
+				Attr:         l,
+				Groups:       cloneGroups(groups),
+				Evidence:     h,
+				Significance: sig,
+			})
+		}
+		if !cfg.earlyDisjuncts {
+			return out
+		}
+		// §3.3: find the most frequent error pair (normalized for group
+		// frequency) and merge it; stop when error-free or fully merged.
+		if len(groups) <= 2 || len(res.errors) == 0 {
+			return out
+		}
+		i, j := res.topErrorPair()
+		if i < 0 {
+			return out
+		}
+		merged := append(cloneGroup(groups[i]), groups[j]...)
+		var next []ValueGroup
+		for k, g := range groups {
+			if k != i && k != j {
+				next = append(next, g)
+			}
+		}
+		groups = append(next, merged)
+	}
+}
+
+// testResult aggregates one doTesting pass.
+type testResult struct {
+	correct int
+	ntest   int
+	naiveP  float64
+	// errors counts mistakes between group pairs; the key has the lower
+	// index first because false positives and negatives are not
+	// distinguished (§3.3).
+	errors map[[2]int]int
+	// freq is each group's frequency in the test data, used to normalize
+	// error counts before choosing what to merge.
+	freq map[int]int
+}
+
+// topErrorPair returns the group index pair with the highest normalized
+// error count, or (-1,-1) when there are no errors.
+func (r *testResult) topErrorPair() (int, int) {
+	type scored struct {
+		pair [2]int
+		norm float64
+	}
+	var all []scored
+	for pair, n := range r.errors {
+		denom := float64(r.freq[pair[0]] + r.freq[pair[1]])
+		if denom == 0 {
+			denom = 1
+		}
+		all = append(all, scored{pair, float64(n) / denom})
+	}
+	if len(all) == 0 {
+		return -1, -1
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].norm != all[b].norm {
+			return all[a].norm > all[b].norm
+		}
+		if all[a].pair[0] != all[b].pair[0] {
+			return all[a].pair[0] < all[b].pair[0]
+		}
+		return all[a].pair[1] < all[b].pair[1]
+	})
+	return all[0].pair[0], all[0].pair[1]
+}
+
+// trainAndTest performs doTraining and doTesting of Figure 6 for the
+// given grouping of l's values. Group indices serve as classification
+// labels. Tuples whose l value was unseen in training are skipped, as
+// are NULLs.
+func trainAndTest(train, test *relational.Table, h, l string, groups []ValueGroup, factory classifierFactory) testResult {
+	labelOf := map[string]int{}
+	for gi, g := range groups {
+		for _, v := range g {
+			labelOf[v.Key()] = gi
+		}
+	}
+	cls := factory(train, h)
+	naive := classify.NewMajority()
+
+	hi, li := train.AttrIndex(h), train.AttrIndex(l)
+	for _, row := range train.Rows {
+		lv := row[li]
+		if lv.IsNull() {
+			continue
+		}
+		gi, ok := labelOf[lv.Key()]
+		if !ok {
+			continue
+		}
+		label := groupLabel(gi)
+		cls.Train(row[hi], label)
+		naive.Train(relational.Null, label)
+	}
+	cls.Finish()
+
+	res := testResult{
+		naiveP: naive.P(),
+		errors: map[[2]int]int{},
+		freq:   map[int]int{},
+	}
+	hi, li = test.AttrIndex(h), test.AttrIndex(l)
+	for _, row := range test.Rows {
+		lv := row[li]
+		if lv.IsNull() {
+			continue
+		}
+		want, ok := labelOf[lv.Key()]
+		if !ok {
+			continue
+		}
+		res.ntest++
+		res.freq[want]++
+		got := parseGroupLabel(cls.Predict(row[hi]))
+		if got == want {
+			res.correct++
+			continue
+		}
+		if got < 0 {
+			got = want + 1 // count unparseable predictions as generic errors
+			if got >= len(groups) {
+				got = want - 1
+			}
+		}
+		key := [2]int{want, got}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		res.errors[key]++
+	}
+	return res
+}
+
+func groupLabel(i int) string { return fmt.Sprintf("g%04d", i) }
+
+func parseGroupLabel(s string) int {
+	if len(s) != 5 || s[0] != 'g' {
+		return -1
+	}
+	n := 0
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func cloneGroup(g ValueGroup) ValueGroup {
+	return append(ValueGroup(nil), g...)
+}
+
+func cloneGroups(gs []ValueGroup) []ValueGroup {
+	out := make([]ValueGroup, len(gs))
+	for i, g := range gs {
+		out[i] = cloneGroup(g)
+	}
+	return out
+}
+
+// dedupFamilies collapses families with identical (table, attr, groups),
+// keeping the highest significance. Different evidence attributes h often
+// certify the same partition; the user needs it only once.
+func dedupFamilies(fams []ViewFamily) []ViewFamily {
+	bestByKey := map[string]int{}
+	var out []ViewFamily
+	for _, f := range fams {
+		key := f.key()
+		if i, ok := bestByKey[key]; ok {
+			if f.Significance > out[i].Significance {
+				out[i] = f
+			}
+			continue
+		}
+		bestByKey[key] = len(out)
+		out = append(out, f)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+func (f ViewFamily) key() string {
+	parts := make([]string, len(f.Groups))
+	for i, g := range f.Groups {
+		vs := make([]string, len(g))
+		for j, v := range g {
+			vs[j] = v.Key()
+		}
+		sort.Strings(vs)
+		parts[i] = strings.Join(vs, ",")
+	}
+	sort.Strings(parts)
+	return f.Table.Name + "\x00" + f.Attr + "\x00" + strings.Join(parts, "|")
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sort"
+
+	"ctxmatch/internal/classify"
+	"ctxmatch/internal/relational"
+)
+
+// Candidate is one candidate view condition produced by
+// InferCandidateViews, with the family that motivated it (nil provenance
+// for NaiveInfer).
+type Candidate struct {
+	Cond   relational.Condition
+	Family *ViewFamily
+}
+
+// InferCandidateViews produces the set C of candidate view conditions for
+// source table r (line 5 of Figure 5). matches is the output of
+// StandardMatch; per the paper no conditions are returned when it is
+// empty. The target schema is consulted only by TgtClassInfer.
+func InferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches bool, opt Options) []Candidate {
+	if !hasMatches {
+		return nil
+	}
+	rng := opt.rng()
+	switch opt.Inference {
+	case NaiveInfer:
+		return naiveInfer(r, opt)
+	case SrcClassInfer:
+		return candidatesFromFamilies(clusteredViewGen(r, clusterConfig{
+			threshold:      opt.SignificanceT,
+			trainFrac:      opt.TrainFrac,
+			earlyDisjuncts: opt.EarlyDisjuncts,
+			factory:        srcClassifierFactory,
+		}, rng))
+	case TgtClassInfer:
+		tc := newTargetClassifiers(tgt)
+		return candidatesFromFamilies(clusteredViewGen(r, clusterConfig{
+			threshold:      opt.SignificanceT,
+			trainFrac:      opt.TrainFrac,
+			earlyDisjuncts: opt.EarlyDisjuncts,
+			factory:        tc.factory,
+		}, rng))
+	default:
+		return nil
+	}
+}
+
+// naiveInfer implements §3.2.1: a view per value of every categorical
+// attribute. Under EarlyDisjuncts it additionally enumerates the
+// disjunctive (subset) conditions, whose number grows exponentially in
+// the cardinality of the categorical attribute — the cost the paper's
+// Figure 15 charts.
+func naiveInfer(r *relational.Table, opt Options) []Candidate {
+	var out []Candidate
+	for _, l := range r.CategoricalAttrs() {
+		values := r.DistinctValues(l)
+		if len(values) < 2 {
+			continue
+		}
+		if opt.EarlyDisjuncts && len(values) <= naiveDisjunctCap {
+			// All non-empty proper subsets of the value set.
+			for mask := 1; mask < (1<<len(values))-1; mask++ {
+				var g ValueGroup
+				for i, v := range values {
+					if mask&(1<<i) != 0 {
+						g = append(g, v)
+					}
+				}
+				out = append(out, Candidate{Cond: g.Condition(l)})
+			}
+			continue
+		}
+		for _, v := range values {
+			out = append(out, Candidate{Cond: relational.Eq{Attr: l, Value: v}})
+		}
+	}
+	return dedupCandidates(out)
+}
+
+// naiveDisjunctCap bounds NaiveInfer's exponential subset enumeration;
+// beyond this cardinality it degrades to simple conditions only.
+const naiveDisjunctCap = 12
+
+// candidatesFromFamilies expands every view of every family into a
+// candidate condition, deduplicated.
+func candidatesFromFamilies(fams []ViewFamily) []Candidate {
+	var out []Candidate
+	for i := range fams {
+		f := &fams[i]
+		for _, g := range f.Groups {
+			out = append(out, Candidate{Cond: g.Condition(f.Attr), Family: f})
+		}
+	}
+	return dedupCandidates(out)
+}
+
+func dedupCandidates(cands []Candidate) []Candidate {
+	seen := map[string]bool{}
+	out := cands[:0]
+	for _, c := range cands {
+		key := c.Cond.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Cond.String() < out[j].Cond.String()
+	})
+	return out
+}
+
+// srcClassifierFactory implements SrcClassInfer's Ch (§3.2.3): a Naive
+// Bayes 3-gram classifier for text attributes, a Gaussian classifier for
+// numeric attributes, trained directly on the source values of h.
+func srcClassifierFactory(t *relational.Table, h string) labelClassifier {
+	a, _ := t.Attr(h)
+	return &srcClassifier{cls: classify.ForType(a.Type)}
+}
+
+type srcClassifier struct {
+	cls classify.Classifier
+}
+
+func (s *srcClassifier) Train(v relational.Value, label string) { s.cls.Train(v, label) }
+func (s *srcClassifier) Finish()                                {}
+func (s *srcClassifier) Predict(v relational.Value) string {
+	label, _ := s.cls.Classify(v)
+	return label
+}
+
+// targetClassifiers is the C_D^T infrastructure of Figure 7
+// (createTargetClassifier): one classifier per value domain D, trained on
+// every compatible attribute of the target schema with the label
+// "Table.attr". TgtClassInfer shares one instance across all (h, l)
+// pairs because target training is independent of the source.
+type targetClassifiers struct {
+	byDomain map[relational.Domain]classify.Classifier
+}
+
+// newTargetClassifiers runs createTargetClassifier(D, RT) for every
+// domain with at least one compatible target attribute.
+func newTargetClassifiers(tgt *relational.Schema) *targetClassifiers {
+	tc := &targetClassifiers{byDomain: map[relational.Domain]classify.Classifier{}}
+	if tgt == nil {
+		return tc
+	}
+	for _, domain := range []relational.Domain{relational.DomainString, relational.DomainNumber, relational.DomainBool} {
+		var cls classify.Classifier
+		for _, rt := range tgt.Tables {
+			for _, a := range rt.Attrs {
+				if !a.Type.Compatible(domain) {
+					continue
+				}
+				if cls == nil {
+					if domain == relational.DomainString {
+						cls = classify.NewNaiveBayes()
+					} else {
+						cls = classify.NewGaussian()
+					}
+				}
+				tag := rt.Name + "." + a.Name
+				i := rt.AttrIndex(a.Name)
+				for _, row := range rt.Rows {
+					if !row[i].IsNull() {
+						cls.Train(row[i], tag)
+					}
+				}
+			}
+		}
+		if cls != nil {
+			tc.byDomain[domain] = cls
+		}
+	}
+	return tc
+}
+
+// classify tags a source value with the target attribute it most
+// resembles, e.g. "book.title". Values in domains with no target
+// classifier tag as "".
+func (tc *targetClassifiers) classify(v relational.Value, d relational.Domain) string {
+	cls, ok := tc.byDomain[d]
+	if !ok {
+		return ""
+	}
+	tag, _ := cls.Classify(v)
+	return tag
+}
+
+// factory builds the TgtClassInfer labelClassifier for attribute h: it
+// tags each training value with its most similar target attribute,
+// accumulates TBag(R.h, R.l) and derives bestCAT (§3.2.4).
+func (tc *targetClassifiers) factory(t *relational.Table, h string) labelClassifier {
+	a, _ := t.Attr(h)
+	return &tgtClassifier{
+		tc:     tc,
+		domain: a.Type.Domain(),
+		tbag:   map[string]map[string]int{},
+		vFreq:  map[string]int{},
+		gFreq:  map[string]int{},
+	}
+}
+
+// tgtClassifier implements doTraining/doTesting for TgtClassInfer.
+type tgtClassifier struct {
+	tc     *targetClassifiers
+	domain relational.Domain
+
+	// tbag[g][v] counts pairs (g, v): tag g observed with categorical
+	// label v during training.
+	tbag  map[string]map[string]int
+	vFreq map[string]int
+	gFreq map[string]int
+	total int
+
+	bestCAT  map[string]string
+	majority string
+}
+
+// Train records the pair (C_D^T.classify(t.h), t.l) into TBag.
+func (c *tgtClassifier) Train(v relational.Value, label string) {
+	g := c.tc.classify(v, c.domain)
+	m := c.tbag[g]
+	if m == nil {
+		m = map[string]int{}
+		c.tbag[g] = m
+	}
+	m[label]++
+	c.vFreq[label]++
+	c.gFreq[g]++
+	c.total++
+}
+
+// Finish computes bestCAT(g) = argmax_v acc(g,v)·prec(g,v) where
+// acc(g,v)=P(g|v) and prec(g,v)=P(v|g), ties broken in favor of the more
+// common v, then lexicographically for determinism.
+func (c *tgtClassifier) Finish() {
+	c.bestCAT = make(map[string]string, len(c.tbag))
+	c.majority = ""
+	bestFreq := -1
+	for v, n := range c.vFreq {
+		if n > bestFreq || (n == bestFreq && v < c.majority) {
+			c.majority, bestFreq = v, n
+		}
+	}
+	for g, byV := range c.tbag {
+		best, bestScore, bestN := "", -1.0, -1
+		for v, n := range byV {
+			acc := float64(n) / float64(c.vFreq[v])  // P(g|v)
+			prec := float64(n) / float64(c.gFreq[g]) // P(v|g)
+			score := acc * prec
+			switch {
+			case score > bestScore:
+				best, bestScore, bestN = v, score, c.vFreq[v]
+			case score == bestScore && c.vFreq[v] > bestN:
+				best, bestN = v, c.vFreq[v]
+			case score == bestScore && c.vFreq[v] == bestN && v < best:
+				best = v
+			}
+		}
+		c.bestCAT[g] = best
+	}
+}
+
+// Predict returns bestCAT(C_D^T.classify(t.h)); a tag never seen in
+// training falls back to the majority categorical value (the paper
+// allows an arbitrary choice; majority is the deterministic one).
+func (c *tgtClassifier) Predict(v relational.Value) string {
+	g := c.tc.classify(v, c.domain)
+	if label, ok := c.bestCAT[g]; ok {
+		return label
+	}
+	return c.majority
+}
+
+// families is a convenience wrapper used by tests and the façade: it runs
+// the configured inference and returns the raw view families (empty for
+// NaiveInfer, which has none).
+func families(r *relational.Table, tgt *relational.Schema, opt Options) []ViewFamily {
+	rng := opt.rng()
+	cfg := clusterConfig{
+		threshold:      opt.SignificanceT,
+		trainFrac:      opt.TrainFrac,
+		earlyDisjuncts: opt.EarlyDisjuncts,
+	}
+	switch opt.Inference {
+	case SrcClassInfer:
+		cfg.factory = srcClassifierFactory
+	case TgtClassInfer:
+		cfg.factory = newTargetClassifiers(tgt).factory
+	default:
+		return nil
+	}
+	return clusteredViewGen(r, cfg, rng)
+}
+
+// Families exposes the inferred well-clustered view families for
+// diagnostics and experiments.
+func Families(r *relational.Table, tgt *relational.Schema, opt Options) []ViewFamily {
+	return families(r, tgt, opt)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"ctxmatch/internal/match"
+)
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions()
+	if o.Tau != 0.5 {
+		t.Errorf("τ default = %v, paper uses 0.5", o.Tau)
+	}
+	if o.Omega != 5 {
+		t.Errorf("ω default = %v, paper uses 5", o.Omega)
+	}
+	if o.SignificanceT != 0.95 {
+		t.Errorf("T default = %v, paper uses 0.95", o.SignificanceT)
+	}
+	if !o.EarlyDisjuncts {
+		t.Error("EarlyDisjuncts should be the default (§5.9: most accurate)")
+	}
+	if o.Inference != TgtClassInfer {
+		t.Error("TgtClassInfer should be the default (§5.9: most accurate)")
+	}
+	if o.Selection != QualTable {
+		t.Error("QualTable should be the default")
+	}
+	if o.MaxDepth != 1 {
+		t.Error("conjunctive depth defaults to 1")
+	}
+}
+
+func TestOptionsEngineDefaultsAndOverride(t *testing.T) {
+	o := DefaultOptions()
+	if o.engine() == nil {
+		t.Fatal("engine() must never return nil")
+	}
+	custom := &match.Engine{Matchers: []match.AttrMatcher{match.NameMatcher{W: 1}}}
+	o.Engine = custom
+	if o.engine() != custom {
+		t.Error("explicit engine not used")
+	}
+}
+
+func TestOptionsRngDeterministic(t *testing.T) {
+	o := DefaultOptions()
+	o.Seed = 42
+	a, b := o.rng(), o.rng()
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("rng() must be deterministic per seed")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// ContextMatchTarget finds target contextual matches: conditions on the
+// target tables instead of the source. Per §3, "it is generally
+// straightforward to reverse the role of source and target tables to
+// discover matches involving conditions on the target table" — and §3.2.4
+// notes the same reversal applies to TgtClassInfer. The implementation
+// runs ContextMatch with the schemas swapped and then un-swaps each
+// match, so a returned match reads source attribute → target attribute
+// with Cond holding on the *target* view (the match's Target field is
+// the conditioned target view).
+func ContextMatchTarget(src, tgt *relational.Schema, opt Options) *Result {
+	rev := ContextMatch(tgt, src, opt)
+	out := &Result{
+		Families: rev.Families,
+		Elapsed:  rev.Elapsed,
+	}
+	out.Matches = unswapAll(rev.Matches)
+	out.Standard = unswapAll(rev.Standard)
+	for _, c := range rev.Candidates {
+		out.Candidates = append(out.Candidates, ScoredCandidate{
+			Match: unswap(c.Match),
+			Base:  unswap(c.Base),
+		})
+	}
+	return out
+}
+
+// TargetContextualMatches filters a reversed result for matches whose
+// target side is a view (the contextual ones).
+func (r *Result) TargetContextualMatches() []match.Match {
+	var out []match.Match
+	for _, m := range r.Matches {
+		if m.Target.IsView() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func unswapAll(ms []match.Match) []match.Match {
+	out := make([]match.Match, len(ms))
+	for i, m := range ms {
+		out[i] = unswap(m)
+	}
+	return out
+}
+
+func unswap(m match.Match) match.Match {
+	return match.Match{
+		Source:     m.Target,
+		SourceAttr: m.TargetAttr,
+		Target:     m.Source,
+		TargetAttr: m.SourceAttr,
+		Cond:       m.Cond,
+		Score:      m.Score,
+		Confidence: m.Confidence,
+	}
+}

@@ -1,0 +1,111 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctxmatch/internal/relational"
+)
+
+// GradesConfig parameterizes the Grades data set of §5: test scores of
+// Students students on Exams exams, stored narrow in the source
+// (name, examNum, grade) and wide in the target (name, grade0…). The
+// mean of exam i is fixed at 40 + 10·i while Sigma varies; grade values
+// are generated independently for each schema, so distributions agree
+// but values do not.
+type GradesConfig struct {
+	Students int
+	Exams    int
+	Sigma    float64
+	Seed     int64
+}
+
+// DefaultGradesConfig matches the paper: 200 students, 5 exams.
+func DefaultGradesConfig() GradesConfig {
+	return GradesConfig{Students: 200, Exams: 5, Sigma: 10, Seed: 1}
+}
+
+// examMean is the paper's 40 + 10(i-1) with exams indexed from 0.
+func examMean(i int) float64 { return 40 + 10*float64(i) }
+
+// Grades generates the narrow/wide pair with its gold standard: for each
+// exam i, the view examNum = i must map grade → grade<i> (and name →
+// name) — the attribute normalization of Example 4.3.
+func Grades(cfg GradesConfig) *Dataset {
+	if cfg.Students <= 0 {
+		cfg.Students = 200
+	}
+	if cfg.Exams <= 0 {
+		cfg.Exams = 5
+	}
+	srcRng := rand.New(rand.NewSource(cfg.Seed))
+	tgtRng := rand.New(rand.NewSource(cfg.Seed + 1_000_003))
+
+	names := make([]string, cfg.Students)
+	used := map[string]bool{}
+	for s := range names {
+		for {
+			n := personName(srcRng)
+			if !used[n] {
+				used[n] = true
+				names[s] = n
+				break
+			}
+			n += fmt.Sprintf(" %c", 'a'+srcRng.Intn(26)) // middle initial on collision
+			if !used[n] {
+				used[n] = true
+				names[s] = n
+				break
+			}
+		}
+	}
+
+	narrow := relational.NewTable("grades_narrow",
+		relational.Attribute{Name: "name", Type: relational.Text},
+		relational.Attribute{Name: "examNum", Type: relational.Int},
+		relational.Attribute{Name: "grade", Type: relational.Real},
+	)
+	for _, n := range names {
+		for e := 0; e < cfg.Exams; e++ {
+			narrow.Append(relational.Tuple{
+				relational.S(n),
+				relational.I(e),
+				relational.F(roundCents(examMean(e) + srcRng.NormFloat64()*cfg.Sigma)),
+			})
+		}
+	}
+
+	attrs := []relational.Attribute{{Name: "name", Type: relational.Text}}
+	for e := 0; e < cfg.Exams; e++ {
+		attrs = append(attrs, relational.Attribute{
+			Name: fmt.Sprintf("grade%d", e), Type: relational.Real,
+		})
+	}
+	wide := relational.NewTable("grades_wide", attrs...)
+	for _, n := range names {
+		row := relational.Tuple{relational.S(n)}
+		for e := 0; e < cfg.Exams; e++ {
+			row = append(row, relational.F(roundCents(examMean(e)+tgtRng.NormFloat64()*cfg.Sigma)))
+		}
+		wide.Append(row)
+	}
+
+	var gold []GoldPair
+	for e := 0; e < cfg.Exams; e++ {
+		side := fmt.Sprintf("exam%d", e)
+		gold = append(gold,
+			GoldPair{SourceAttr: "grade", TargetTable: "grades_wide",
+				TargetAttr: fmt.Sprintf("grade%d", e), Side: side},
+			GoldPair{SourceAttr: "name", TargetTable: "grades_wide",
+				TargetAttr: "name", Side: side},
+		)
+	}
+
+	return &Dataset{
+		Source:      relational.NewSchema("RS", narrow),
+		Target:      relational.NewSchema("RT", wide),
+		Gold:        gold,
+		ContextAttr: "examNum",
+		SideOf:      func(v relational.Value) string { return "exam" + v.Str() },
+	}
+}

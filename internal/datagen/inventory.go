@@ -1,0 +1,377 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ctxmatch/internal/relational"
+)
+
+// TargetSchema selects one of the three UW-corpus-style target schemas
+// the paper evaluates against (§5, "Inventory Data"): the schemas were
+// created by database-course students, so each names the same concepts
+// differently.
+type TargetSchema string
+
+// The three target schemas. Names follow the paper's (Ryan Eyers, Aaron
+// Day, Barrett Arney).
+const (
+	Ryan    TargetSchema = "Ryan"
+	Aaron   TargetSchema = "Aaron"
+	Barrett TargetSchema = "Barrett"
+)
+
+// AllTargets lists the target schemas in the paper's plotting order.
+var AllTargets = []TargetSchema{Aaron, Barrett, Ryan}
+
+// InventoryConfig parameterizes the Retail data set generator with the
+// knobs of §5.3–§5.6.
+type InventoryConfig struct {
+	// Rows is the source inventory sample size (Figure 18 varies it).
+	Rows int
+	// TargetRows is the sample size per target table.
+	TargetRows int
+	// Gamma is the cardinality γ of ItemType: book items are labelled
+	// Book1..Book(γ/2) uniformly at random, music items CD1..CD(γ/2)
+	// (§5, "Inventory Data"). Must be even and ≥ 2.
+	Gamma int
+	// Target picks the target schema.
+	Target TargetSchema
+	// CorrelatedAttrs adds extra low-cardinality attributes over the
+	// ItemType domain (§5.3); Correlation is their ρ: with probability ρ
+	// the attribute copies ItemType, otherwise it takes a uniform random
+	// label. Matches conditioned on them count as errors.
+	CorrelatedAttrs int
+	Correlation     float64
+	// ExtraAttrs adds n non-categorical attributes to every table
+	// (populated with real-estate data) plus n/4 categorical attributes
+	// (over the ItemType domain) to the source (§5.5).
+	ExtraAttrs int
+	// NoDistractors drops the auxiliary source tables. By default the
+	// source schema contains, besides the combined item table, a
+	// Suppliers table whose contact names and phone numbers superficially
+	// resemble target attributes — the student schemas of the UW corpus
+	// are multi-table, and the MultiTable selection policy's weakness
+	// (mixing sources per attribute, Figure 11) only shows against such
+	// distractors.
+	NoDistractors bool
+	// Seed drives all generation; the target sample uses an independent
+	// stream so source and target share distributions but not values.
+	Seed int64
+}
+
+// DefaultInventoryConfig is the configuration the paper's experiments
+// default to: γ=4 and the Ryan Eyers target.
+func DefaultInventoryConfig() InventoryConfig {
+	return InventoryConfig{
+		Rows:       600,
+		TargetRows: 250,
+		Gamma:      4,
+		Target:     Ryan,
+		Seed:       1,
+	}
+}
+
+// item is one generated inventory row before schema placement.
+type item struct {
+	book    bool
+	label   string // ItemType value
+	title   string
+	creator string
+	code    string
+	format  string
+	price   float64
+	maker   string
+}
+
+func genItem(rng *rand.Rand, gamma int) item {
+	half := gamma / 2
+	if half < 1 {
+		half = 1
+	}
+	if rng.Intn(2) == 0 {
+		return item{
+			book:    true,
+			label:   fmt.Sprintf("Book%d", 1+rng.Intn(half)),
+			title:   titleFrom(rng, bookTitleWords),
+			creator: personName(rng),
+			code:    isbn(rng),
+			format:  pick(rng, bookFormats),
+			price:   bookPrice(rng),
+			maker:   publisherName(rng),
+		}
+	}
+	return item{
+		book:    false,
+		label:   fmt.Sprintf("CD%d", 1+rng.Intn(half)),
+		title:   titleFrom(rng, albumTitleWords),
+		creator: artistName(rng),
+		code:    asinCode(rng),
+		format:  pick(rng, musicFormats),
+		price:   musicPrice(rng),
+		maker:   labelName(rng),
+	}
+}
+
+// suppliersTable generates the auxiliary Suppliers source table. Its
+// columns are superficially similar to target attributes — company names
+// read like publishers and labels, contact names like authors and
+// artists, hyphenated phone numbers like ISBNs, wholesale prices overlap
+// retail prices — while the low-cardinality Region column gives
+// NaiveInfer something to build (spurious) views on. Per-source score
+// normalization makes such junk look confident in isolation, which is
+// exactly the cross-source mistake MultiTable makes and QualTable's
+// table consistency prevents (Figure 11).
+func suppliersTable(rng *rand.Rand, rows int) *relational.Table {
+	if rows < 30 {
+		rows = 30
+	}
+	t := relational.NewTable("Suppliers",
+		relational.Attribute{Name: "SupplierID", Type: relational.Int},
+		relational.Attribute{Name: "CompanyName", Type: relational.Text},
+		relational.Attribute{Name: "ContactName", Type: relational.Text},
+		relational.Attribute{Name: "Region", Type: relational.String},
+		relational.Attribute{Name: "Phone", Type: relational.String},
+		relational.Attribute{Name: "WholesalePrice", Type: relational.Real},
+	)
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < rows; i++ {
+		var company string
+		if rng.Intn(2) == 0 {
+			company = publisherName(rng)
+		} else {
+			company = labelName(rng)
+		}
+		t.Append(relational.Tuple{
+			relational.I(50000 + i),
+			relational.S(company),
+			relational.S(personName(rng)),
+			relational.S(pick(rng, regions)),
+			relational.S(fmt.Sprintf("%03d-%03d-%04d", 200+rng.Intn(800), rng.Intn(1000), rng.Intn(10000))),
+			relational.F(roundCents(17 + rng.NormFloat64()*5)),
+		})
+	}
+	return t
+}
+
+// employeesTable generates a second auxiliary source table: employee
+// names resemble authors and artists, salaries overlap retail prices,
+// and the low-cardinality Department column supports spurious views.
+func employeesTable(rng *rand.Rand, rows int) *relational.Table {
+	if rows < 30 {
+		rows = 30
+	}
+	t := relational.NewTable("Employees",
+		relational.Attribute{Name: "EmployeeID", Type: relational.Int},
+		relational.Attribute{Name: "FullName", Type: relational.Text},
+		relational.Attribute{Name: "Department", Type: relational.String},
+		relational.Attribute{Name: "HourlyRate", Type: relational.Real},
+	)
+	departments := []string{"shipping", "receiving", "sales", "returns"}
+	for i := 0; i < rows; i++ {
+		t.Append(relational.Tuple{
+			relational.I(90000 + i),
+			relational.S(personName(rng)),
+			relational.S(pick(rng, departments)),
+			relational.F(roundCents(21 + rng.NormFloat64()*5)),
+		})
+	}
+	return t
+}
+
+// targetLayout names the book and music tables and their six content
+// attributes (title, creator, code, format, price, maker) per target
+// schema.
+type targetLayout struct {
+	bookTable, musicTable string
+	book, music           [6]string
+}
+
+var layouts = map[TargetSchema]targetLayout{
+	Ryan: {
+		bookTable: "book", musicTable: "music",
+		book:  [6]string{"title", "author", "isbn", "binding", "price", "publisher"},
+		music: [6]string{"album", "artist", "asin", "media", "price", "label"},
+	},
+	Aaron: {
+		bookTable: "Books", musicTable: "CDs",
+		book:  [6]string{"BookTitle", "Writer", "ISBN10", "Cover", "Cost", "House"},
+		music: [6]string{"AlbumName", "Band", "ProductCode", "Medium", "Cost", "RecordLabel"},
+	},
+	Barrett: {
+		bookTable: "BookItem", musicTable: "MusicItem",
+		book:  [6]string{"Name", "AuthorName", "ItemCode", "Fmt", "Amount", "Pub"},
+		music: [6]string{"Name", "ArtistName", "ItemCode", "Fmt", "Amount", "Studio"},
+	},
+}
+
+// sourceContentAttrs are the source attributes carrying item content, in
+// the layout order above. Index 3 (the format/binding column) is absent
+// from the source on purpose: the paper's Colin Bleckner source has "a
+// single low cardinality attribute, ItemType", and a low-cardinality
+// format column would be a second categorical attribute that partitions
+// the data identically to ItemType, creating gold-ambiguous views. The
+// target tables keep their format columns as realistic unmatched
+// attributes (the Skolem case of §4.1).
+var sourceContentAttrs = [6]string{"ItemName", "Creator", "Code", "", "ListPrice", "Maker"}
+
+var contentTypes = [6]relational.Type{
+	relational.Text, relational.Text, relational.String,
+	relational.String, relational.Real, relational.String,
+}
+
+// Inventory generates the Retail data set for the given configuration:
+// a single combined source table (Colin Bleckner style), a two-table
+// target schema, and the gold standard.
+func Inventory(cfg InventoryConfig) *Dataset {
+	if cfg.Gamma < 2 {
+		cfg.Gamma = 2
+	}
+	if cfg.Gamma%2 != 0 {
+		cfg.Gamma++
+	}
+	srcRng := rand.New(rand.NewSource(cfg.Seed))
+	tgtRng := rand.New(rand.NewSource(cfg.Seed + 1_000_003))
+
+	layout, ok := layouts[cfg.Target]
+	if !ok {
+		layout = layouts[Ryan]
+	}
+
+	// --- source table ---
+	attrs := []relational.Attribute{
+		{Name: "ItemID", Type: relational.Int},
+		{Name: sourceContentAttrs[0], Type: contentTypes[0]},
+		{Name: sourceContentAttrs[1], Type: contentTypes[1]},
+		{Name: "ItemType", Type: relational.String},
+		{Name: "StockStatus", Type: relational.String},
+		{Name: sourceContentAttrs[2], Type: contentTypes[2]},
+		{Name: sourceContentAttrs[4], Type: contentTypes[4]},
+		{Name: sourceContentAttrs[5], Type: contentTypes[5]},
+	}
+	for c := 0; c < cfg.CorrelatedAttrs; c++ {
+		attrs = append(attrs, relational.Attribute{
+			Name: fmt.Sprintf("XCorr%d", c+1), Type: relational.String,
+		})
+	}
+	extraCat := cfg.ExtraAttrs / 4
+	for c := 0; c < extraCat; c++ {
+		attrs = append(attrs, relational.Attribute{
+			Name: fmt.Sprintf("XCat%d", c+1), Type: relational.String,
+		})
+	}
+	for c := 0; c < cfg.ExtraAttrs; c++ {
+		attrs = append(attrs, relational.Attribute{
+			Name: fmt.Sprintf("XNoise%d", c+1), Type: relational.String,
+		})
+	}
+	src := relational.NewTable("Inventory", attrs...)
+
+	labelPool := make([]string, 0, cfg.Gamma)
+	for i := 1; i <= cfg.Gamma/2; i++ {
+		labelPool = append(labelPool, fmt.Sprintf("Book%d", i), fmt.Sprintf("CD%d", i))
+	}
+
+	for i := 0; i < cfg.Rows; i++ {
+		it := genItem(srcRng, cfg.Gamma)
+		row := relational.Tuple{
+			relational.I(10000 + i), // SKU-style ids, far from price ranges
+			relational.S(it.title),
+			relational.S(it.creator),
+			relational.S(it.label),
+			relational.S(pick(srcRng, stockStatuses)),
+			relational.S(it.code),
+			relational.F(it.price),
+			relational.S(it.maker),
+		}
+		for c := 0; c < cfg.CorrelatedAttrs; c++ {
+			if srcRng.Float64() < cfg.Correlation {
+				row = append(row, relational.S(it.label))
+			} else {
+				row = append(row, relational.S(pick(srcRng, labelPool)))
+			}
+		}
+		for c := 0; c < extraCat; c++ {
+			row = append(row, relational.S(pick(srcRng, labelPool)))
+		}
+		for c := 0; c < cfg.ExtraAttrs; c++ {
+			row = append(row, relational.S(realEstateValue(srcRng)))
+		}
+		src.Append(row)
+	}
+
+	// --- target tables ---
+	mkTarget := func(name string, names [6]string, book bool) *relational.Table {
+		tAttrs := make([]relational.Attribute, 0, 6+cfg.ExtraAttrs)
+		for i := 0; i < 6; i++ {
+			tAttrs = append(tAttrs, relational.Attribute{Name: names[i], Type: contentTypes[i]})
+		}
+		for c := 0; c < cfg.ExtraAttrs; c++ {
+			tAttrs = append(tAttrs, relational.Attribute{
+				Name: fmt.Sprintf("XTgt%d", c+1), Type: relational.String,
+			})
+		}
+		t := relational.NewTable(name, tAttrs...)
+		for i := 0; i < cfg.TargetRows; i++ {
+			var it item
+			for {
+				it = genItem(tgtRng, cfg.Gamma)
+				if it.book == book {
+					break
+				}
+			}
+			row := relational.Tuple{
+				relational.S(it.title), relational.S(it.creator),
+				relational.S(it.code), relational.S(it.format),
+				relational.F(it.price), relational.S(it.maker),
+			}
+			for c := 0; c < cfg.ExtraAttrs; c++ {
+				row = append(row, relational.S(realEstateValue(tgtRng)))
+			}
+			t.Append(row)
+		}
+		return t
+	}
+	bookT := mkTarget(layout.bookTable, layout.book, true)
+	musicT := mkTarget(layout.musicTable, layout.music, false)
+
+	// --- gold standard ---
+	var gold []GoldPair
+	for i := 0; i < 6; i++ {
+		if sourceContentAttrs[i] == "" {
+			continue // format column exists only in the targets
+		}
+		gold = append(gold,
+			GoldPair{SourceAttr: sourceContentAttrs[i], TargetTable: layout.bookTable,
+				TargetAttr: layout.book[i], Side: "book"},
+			GoldPair{SourceAttr: sourceContentAttrs[i], TargetTable: layout.musicTable,
+				TargetAttr: layout.music[i], Side: "music"},
+		)
+	}
+
+	source := relational.NewSchema("RS", src)
+	if !cfg.NoDistractors {
+		source.Tables = append(source.Tables,
+			suppliersTable(srcRng, cfg.Rows/3),
+			employeesTable(srcRng, cfg.Rows/3),
+		)
+	}
+
+	return &Dataset{
+		Source:      source,
+		Target:      relational.NewSchema(string(cfg.Target), bookT, musicT),
+		Gold:        gold,
+		ContextAttr: "ItemType",
+		SideOf: func(v relational.Value) string {
+			if len(v.Str()) >= 4 && v.Str()[:4] == "Book" {
+				return "book"
+			}
+			return "music"
+		},
+		Neutral: func(sourceAttr, targetAttr string) bool {
+			return strings.HasPrefix(sourceAttr, "XNoise") &&
+				strings.HasPrefix(targetAttr, "XTgt")
+		},
+	}
+}

@@ -1,0 +1,88 @@
+package datagen
+
+// Word pools used to synthesize realistic-looking inventory and name
+// data. Book-title and album-title vocabularies are deliberately only
+// partially overlapping: real book and album titles share common English
+// words but differ in flavor, and the instance-based matchers (and the
+// paper's experiments) rely on the two populations being similar but
+// separable.
+
+var bookTitleWords = []string{
+	"heart", "darkness", "leaves", "grass", "history", "shadow", "mountain",
+	"river", "winter", "garden", "letters", "secret", "stone", "empire",
+	"journey", "daughter", "memory", "silence", "kingdom", "portrait",
+	"chronicle", "testament", "meridian", "lighthouse", "orchard", "castle",
+	"inheritance", "physician", "cartographer", "alchemist", "labyrinth",
+	"archives", "covenant", "pilgrim", "harvest", "manuscript", "sparrow",
+	"widow", "translation", "equation",
+}
+
+var albumTitleWords = []string{
+	"hotel", "california", "abbey", "road", "rumours", "thriller", "groove",
+	"electric", "night", "dance", "beat", "soul", "funk", "velvet", "neon",
+	"echo", "rhythm", "midnight", "boulevard", "satellite", "stereo",
+	"gravity", "horizon", "paradise", "voltage", "mirage", "disco",
+	"jungle", "chrome", "supernova", "bassline", "riot", "anthem",
+	"wildfire", "honey", "static", "afterglow", "carousel", "vendetta",
+	"tambourine",
+}
+
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "daniel",
+	"nancy", "matthew", "lisa", "anthony", "betty", "mark", "margaret",
+	"donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew",
+	"emily", "joshua", "donna", "kenneth", "michelle",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores",
+}
+
+var publisherStems = []string{
+	"penguin", "harper", "norton", "vintage", "scribner", "mariner",
+	"beacon", "anchor", "riverhead", "pantheon", "crown", "atlantic",
+	"oxford", "cambridge", "cornell", "princeton",
+}
+
+var publisherSuffixes = []string{"press", "books", "house", "publishing"}
+
+var labelStems = []string{
+	"capitol", "elektra", "motown", "atlantic", "chess", "stax", "verve",
+	"geffen", "sire", "island", "parlophone", "asylum", "reprise",
+	"interscope", "subpop", "rough trade",
+}
+
+var labelSuffixes = []string{"records", "recordings", "music", "sound"}
+
+var bookFormats = []string{
+	"hardcover", "paperback", "mass market paperback", "library binding",
+}
+
+var musicFormats = []string{
+	"audio cd", "vinyl lp", "cassette", "enhanced cd",
+}
+
+var stockStatuses = []string{"Low", "Normal", "High"}
+
+// Real-estate vocabulary for the schema-size experiments (§5.5): the
+// paper populates extra non-categorical attributes "with random data
+// from an unrelated real estate table".
+var streetNames = []string{
+	"maple", "oak", "cedar", "elm", "willow", "birch", "walnut", "spruce",
+	"chestnut", "sycamore", "juniper", "magnolia", "poplar", "hawthorn",
+}
+
+var streetSuffixes = []string{"street", "avenue", "lane", "drive", "court", "road"}
+
+var cityNames = []string{
+	"springfield", "riverton", "fairview", "georgetown", "arlington",
+	"madison", "clinton", "ashland", "burlington", "dayton", "florence",
+	"franklin", "greenville", "kingston", "manchester", "milton",
+}

@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ctxmatch/internal/core"
+	"ctxmatch/internal/datagen"
+)
+
+// omegaSweep is the x-axis of Figures 8-10.
+var omegaSweep = []float64{2, 5, 8, 11, 14, 17, 20, 23, 26, 30}
+
+// figOmega builds one of Figures 8-10: FMeasure vs ω under EarlyDisjuncts
+// and LateDisjuncts for a fixed target schema.
+func figOmega(cfg Config, id string, target datagen.TargetSchema) *Figure {
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Setting ω for %s (FMeasure vs view improvement threshold)", target),
+		XLabel: "omega",
+		YLabel: "FMeasure",
+		Series: []string{"disjearly", "disjlate"},
+	}
+	for _, omega := range omegaSweep {
+		y := map[string]float64{}
+		for _, early := range []bool{true, false} {
+			name := "disjlate"
+			if early {
+				name = "disjearly"
+			}
+			y[name] = averageF(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Target = target
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Omega = omega
+				opt.EarlyDisjuncts = early
+				return ds, opt
+			})
+		}
+		f.Add(omega, y)
+	}
+	return f
+}
+
+// Fig08 reproduces Figure 8: setting ω for target Aaron.
+func Fig08(cfg Config) *Figure { return figOmega(cfg, "fig08", datagen.Aaron) }
+
+// Fig09 reproduces Figure 9: setting ω for target Barrett.
+func Fig09(cfg Config) *Figure { return figOmega(cfg, "fig09", datagen.Barrett) }
+
+// Fig10 reproduces Figure 10: setting ω for target Ryan.
+func Fig10(cfg Config) *Figure { return figOmega(cfg, "fig10", datagen.Ryan) }
+
+// Fig11 reproduces Figure 11: strawman performance — QualTable vs
+// MultiTable FMeasure per target schema, both with NaiveInfer. The x
+// positions 0,1,2 correspond to targets Ryan, Aaron, Barrett as in the
+// paper's bar chart.
+func Fig11(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig11",
+		Title:  "Strawman performance (x: 0=Ryan 1=Aaron 2=Barrett)",
+		XLabel: "target",
+		YLabel: "FMeasure",
+		Series: []string{"QualTable", "MultiTable"},
+	}
+	order := []datagen.TargetSchema{datagen.Ryan, datagen.Aaron, datagen.Barrett}
+	for i, target := range order {
+		y := map[string]float64{}
+		for _, sel := range []core.Selection{core.QualTable, core.MultiTable} {
+			y[sel.String()] = averageF(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Target = target
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Inference = core.NaiveInfer
+				opt.Selection = sel
+				opt.EarlyDisjuncts = false
+				return ds, opt
+			})
+		}
+		f.Add(float64(i), y)
+	}
+	return f
+}
+
+// rhoSweep is the x-axis of Figures 12-13 (% correlation).
+var rhoSweep = []float64{10, 20, 30, 40, 50, 60, 70}
+
+// inferenceSeries are the three InferCandidateViews algorithms charted
+// throughout §5.
+var inferenceSeries = []core.Inference{core.SrcClassInfer, core.TgtClassInfer, core.NaiveInfer}
+
+func inferenceName(inf core.Inference) string {
+	switch inf {
+	case core.SrcClassInfer:
+		return "SrcClass"
+	case core.TgtClassInfer:
+		return "TgtClass"
+	default:
+		return "Naive"
+	}
+}
+
+// figRho builds Figure 12 or 13: FMeasure vs the correlation ρ of three
+// extra low-cardinality attributes, for the three inference algorithms.
+func figRho(cfg Config, id string, early bool) *Figure {
+	policy := "LateDisj"
+	if early {
+		policy = "EarlyDisj"
+	}
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Varying ρ of 3 extra lo-card attrs with %s", policy),
+		XLabel: "rho(%)",
+		YLabel: "FMeasure",
+		Series: []string{"SrcClass", "TgtClass", "Naive"},
+	}
+	for _, rho := range rhoSweep {
+		y := map[string]float64{}
+		for _, inf := range inferenceSeries {
+			inf := inf
+			y[inferenceName(inf)] = averageF(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.CorrelatedAttrs = 3
+					ic.Correlation = rho / 100
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Inference = inf
+				opt.EarlyDisjuncts = early
+				return ds, opt
+			})
+		}
+		f.Add(rho, y)
+	}
+	return f
+}
+
+// Fig12 reproduces Figure 12: varying ρ with EarlyDisjuncts.
+func Fig12(cfg Config) *Figure { return figRho(cfg, "fig12", true) }
+
+// Fig13 reproduces Figure 13: varying ρ with LateDisjuncts.
+func Fig13(cfg Config) *Figure { return figRho(cfg, "fig13", false) }
+
+// gammaSweep is the x-axis of Figures 14-15.
+var gammaSweep = []int{2, 4, 6, 8, 10}
+
+// Fig14 reproduces Figure 14: FMeasure of LateDisjuncts vs the
+// cardinality γ of ItemType on target Ryan, for the three inference
+// algorithms. The sample is deliberately small (cfg.Rows/4): the
+// degradation the paper charts comes from candidate views having too few
+// tuples as γ grows ("the number of tuples in each candidate view
+// decreases, making it more likely that a random candidate view will
+// look appealing", §5.5), which requires γ·views to actually exhaust the
+// sample.
+func Fig14(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig14",
+		Title:  "FMeasure of LateDisjuncts vs cardinality γ (target Ryan)",
+		XLabel: "gamma",
+		YLabel: "FMeasure",
+		Series: []string{"SrcClass", "TgtClass", "Naive"},
+	}
+	rows := cfg.Rows / 4
+	if rows < 60 {
+		rows = 60
+	}
+	for _, gamma := range gammaSweep {
+		y := map[string]float64{}
+		for _, inf := range inferenceSeries {
+			inf := inf
+			y[inferenceName(inf)] = averageF(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Gamma = gamma
+					ic.Rows = rows
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Inference = inf
+				opt.EarlyDisjuncts = false
+				return ds, opt
+			})
+		}
+		f.Add(float64(gamma), y)
+	}
+	return f
+}
+
+// Fig15 reproduces Figure 15: the runtime of EarlyDisjuncts relative to
+// LateDisjuncts (%) vs γ, per target schema, under NaiveInfer whose
+// early-disjunct condition space grows exponentially in γ (§3.3).
+func Fig15(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig15",
+		Title:  "Runtime of EarlyDisjuncts relative to LateDisjuncts (%)",
+		XLabel: "gamma",
+		YLabel: "time vs LateDisjuncts (%)",
+		Series: []string{"Aaron", "Barrett", "Ryan"},
+	}
+	// Rows are halved to keep the γ=10 point (1023 candidate conditions
+	// under NaiveInfer) tractable; the Early/Late ratio is row-count
+	// independent because both policies scale linearly in rows.
+	rows := cfg.Rows / 2
+	if rows < 80 {
+		rows = 80
+	}
+	for _, gamma := range gammaSweep {
+		y := map[string]float64{}
+		for _, target := range datagen.AllTargets {
+			target := target
+			mk := func(early bool) func(int64) (*datagen.Dataset, core.Options) {
+				return func(seed int64) (*datagen.Dataset, core.Options) {
+					ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+						ic.Target = target
+						ic.Gamma = gamma
+						ic.Rows = rows
+						ic.Seed = seed
+					})
+					opt := inventoryOptions(seed)
+					opt.Inference = core.NaiveInfer
+					opt.EarlyDisjuncts = early
+					return ds, opt
+				}
+			}
+			earlySecs := averageTime(cfg, mk(true))
+			lateSecs := averageTime(cfg, mk(false))
+			if lateSecs > 0 {
+				y[string(target)] = 100 * earlySecs / lateSecs
+			}
+		}
+		f.Add(float64(gamma), y)
+	}
+	return f
+}
+
+// attrSweep is the x-axis of Figures 16-17 (#attrs added per table).
+var attrSweep = []int{0, 5, 10, 15, 20, 25, 30}
+
+// Fig16 reproduces Figure 16: FMeasure vs schema size (extra attributes
+// per table) for γ ∈ {2,4,6} on target Ryan, with SrcClassInfer.
+func Fig16(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig16",
+		Title:  "Scaling accuracy: FMeasure vs #attrs added per table (Ryan)",
+		XLabel: "extra attrs",
+		YLabel: "FMeasure",
+		Series: []string{"gamma=2", "gamma=4", "gamma=6"},
+	}
+	for _, n := range attrSweep {
+		y := map[string]float64{}
+		for _, gamma := range []int{2, 4, 6} {
+			gamma := gamma
+			y[fmt.Sprintf("gamma=%d", gamma)] = averageF(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Gamma = gamma
+					ic.ExtraAttrs = n
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Inference = core.SrcClassInfer
+				return ds, opt
+			})
+		}
+		f.Add(float64(n), y)
+	}
+	return f
+}
+
+// Fig17 reproduces Figure 17: runtime (seconds) vs schema size for the
+// three inference algorithms (γ=4, target Ryan).
+func Fig17(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig17",
+		Title:  "Scaling time: seconds vs #attrs added per table (Ryan)",
+		XLabel: "extra attrs",
+		YLabel: "seconds",
+		Series: []string{"SrcClass", "TgtClass", "Naive"},
+	}
+	for _, n := range attrSweep {
+		y := map[string]float64{}
+		for _, inf := range inferenceSeries {
+			inf := inf
+			y[inferenceName(inf)] = averageTime(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.ExtraAttrs = n
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Inference = inf
+				return ds, opt
+			})
+		}
+		f.Add(float64(n), y)
+	}
+	return f
+}
+
+// sizeSweep is the x-axis of Figure 18 (source sample size).
+var sizeSweep = []int{100, 200, 400, 800, 1600}
+
+// Fig18 reproduces Figure 18: FMeasure of TgtClassInfer vs the size of
+// the inventory table, per target schema.
+func Fig18(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig18",
+		Title:  "TgtClassInfer FMeasure vs inventory sample size",
+		XLabel: "rows",
+		YLabel: "FMeasure",
+		Series: []string{"Aaron", "Barrett", "Ryan"},
+	}
+	for _, rows := range sizeSweep {
+		y := map[string]float64{}
+		for _, target := range datagen.AllTargets {
+			target := target
+			rows := rows
+			y[string(target)] = averageF(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Target = target
+					ic.Rows = rows
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Inference = core.TgtClassInfer
+				return ds, opt
+			})
+		}
+		f.Add(float64(rows), y)
+	}
+	return f
+}
+
+// sigmaSweep is the x-axis of Figure 19 (grade standard deviation).
+var sigmaSweep = []float64{5, 10, 15, 20, 25, 30, 35}
+
+// Fig19 reproduces Figure 19: Grades accuracy vs σ for the three
+// inference algorithms under ClioQualTable (§5.7).
+func Fig19(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig19",
+		Title:  "Grades accuracy vs σ (ClioQualTable)",
+		XLabel: "sigma",
+		YLabel: "% accuracy",
+		Series: []string{"SrcClass", "TgtClass", "Naive"},
+	}
+	for _, sigma := range sigmaSweep {
+		y := map[string]float64{}
+		for _, inf := range inferenceSeries {
+			inf := inf
+			sigma := sigma
+			y[inferenceName(inf)] = averageAcc(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				gc := datagen.DefaultGradesConfig()
+				gc.Students = cfg.Students
+				gc.Sigma = sigma
+				gc.Seed = seed
+				opt := gradesOptions(seed)
+				opt.Inference = inf
+				return datagen.Grades(gc), opt
+			})
+		}
+		f.Add(sigma, y)
+	}
+	return f
+}
+
+// tauSweep is the x-axis of Figures 20-22.
+var tauSweep = []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+
+// Fig20 reproduces Figure 20: inventory accuracy vs τ per target schema.
+func Fig20(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig20",
+		Title:  "Inventory sensitivity to τ",
+		XLabel: "tau",
+		YLabel: "% accuracy",
+		Series: []string{"Aaron", "Barrett", "Ryan"},
+	}
+	for _, tau := range tauSweep {
+		y := map[string]float64{}
+		for _, target := range datagen.AllTargets {
+			target := target
+			tau := tau
+			y[string(target)] = averageAcc(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Target = target
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Tau = tau
+				return ds, opt
+			})
+		}
+		f.Add(tau, y)
+	}
+	return f
+}
+
+// Fig21 reproduces Figure 21: Grades accuracy vs τ for several σ.
+func Fig21(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig21",
+		Title:  "Grades sensitivity to τ",
+		XLabel: "tau",
+		YLabel: "% accuracy",
+		Series: []string{"sigma=10", "sigma=20", "sigma=30", "sigma=35"},
+	}
+	for _, tau := range tauSweep {
+		y := map[string]float64{}
+		for _, sigma := range []float64{10, 20, 30, 35} {
+			sigma := sigma
+			tau := tau
+			y[fmt.Sprintf("sigma=%g", sigma)] = averageAcc(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				gc := datagen.DefaultGradesConfig()
+				gc.Students = cfg.Students
+				gc.Sigma = sigma
+				gc.Seed = seed
+				opt := gradesOptions(seed)
+				opt.Tau = tau
+				return datagen.Grades(gc), opt
+			})
+		}
+		f.Add(tau, y)
+	}
+	return f
+}
+
+// Fig22 reproduces Figure 22: inventory runtime (seconds) vs τ per
+// target schema.
+func Fig22(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "fig22",
+		Title:  "Inventory runtime vs τ",
+		XLabel: "tau",
+		YLabel: "seconds",
+		Series: []string{"Aaron", "Barrett", "Ryan"},
+	}
+	for _, tau := range tauSweep {
+		y := map[string]float64{}
+		for _, target := range datagen.AllTargets {
+			target := target
+			tau := tau
+			y[string(target)] = averageTime(cfg, func(seed int64) (*datagen.Dataset, core.Options) {
+				ds := invDataset(cfg, func(ic *datagen.InventoryConfig) {
+					ic.Target = target
+					ic.Seed = seed
+				})
+				opt := inventoryOptions(seed)
+				opt.Tau = tau
+				return ds, opt
+			})
+		}
+		f.Add(tau, y)
+	}
+	return f
+}

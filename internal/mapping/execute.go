@@ -1,0 +1,245 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// Execute runs the mapping over the sample instances of its source
+// tables/views and returns an instance of the target table: the union
+// over logical tables of per-logical-table query results (§4.1(d)).
+//
+// Per §4.1(c), target attributes with no correspondence from the logical
+// table are populated with Skolem values derived from the mapped values
+// (string-domain attributes) or NULL (numeric ones, where an invented
+// token would corrupt the column).
+func (m *Mapping) Execute() *relational.Table {
+	out := relational.NewTable(m.Target.Name, m.Target.Attrs...)
+	for _, lt := range m.Logical {
+		for _, joined := range lt.rows() {
+			out.Append(m.targetTuple(lt, joined))
+		}
+	}
+	return out
+}
+
+// joinedRow maps member-table name to that table's tuple (nil when an
+// outer join found no partner).
+type joinedRow map[string]relational.Tuple
+
+// rows computes the logical table's join result with left-outer
+// semantics: Joins are walked in order, each attaching its Right table;
+// rows without a partner keep going with a missing (nil) entry.
+func (lt *LogicalTable) rows() []joinedRow {
+	if len(lt.Tables) == 0 {
+		return nil
+	}
+	var out []joinedRow
+	for _, t := range lt.Tables[0].Rows {
+		out = append(out, joinedRow{lt.Tables[0].Name: t})
+	}
+	for _, j := range lt.Joins {
+		out = joinStep(out, j)
+	}
+	return out
+}
+
+func joinStep(rows []joinedRow, j Join) []joinedRow {
+	// Index the right table by its join attributes.
+	rIdx := make([]int, len(j.RightAttrs))
+	for i, a := range j.RightAttrs {
+		rIdx[i] = j.Right.AttrIndex(a)
+	}
+	condIdx := -1
+	if j.RightCondAttr != "" {
+		condIdx = j.Right.AttrIndex(j.RightCondAttr)
+	}
+	index := map[string][]relational.Tuple{}
+	for _, t := range j.Right.Rows {
+		if condIdx >= 0 && !t[condIdx].Equal(j.RightCondValue) {
+			continue // join3: only rows with b = v participate
+		}
+		key, null := tupleKey(t, rIdx)
+		if null {
+			continue
+		}
+		index[key] = append(index[key], t)
+	}
+
+	lIdx := make([]int, len(j.LeftAttrs))
+	for i, a := range j.LeftAttrs {
+		lIdx[i] = j.Left.AttrIndex(a)
+	}
+	var out []joinedRow
+	for _, row := range rows {
+		left := row[j.Left.Name]
+		var partners []relational.Tuple
+		if left != nil {
+			if key, null := tupleKey(left, lIdx); !null {
+				partners = index[key]
+			}
+		}
+		if len(partners) == 0 {
+			// Outer join: keep the row with the right side missing.
+			next := cloneRow(row)
+			next[j.Right.Name] = nil
+			out = append(out, next)
+			continue
+		}
+		for _, p := range partners {
+			next := cloneRow(row)
+			next[j.Right.Name] = p
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+func cloneRow(r joinedRow) joinedRow {
+	out := make(joinedRow, len(r)+1)
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+func tupleKey(t relational.Tuple, idx []int) (string, bool) {
+	var b strings.Builder
+	for _, i := range idx {
+		if i < 0 || t[i].IsNull() {
+			return "", true
+		}
+		b.WriteString(t[i].Key())
+		b.WriteByte(0)
+	}
+	return b.String(), false
+}
+
+// targetTuple maps one joined row to a tuple of the target table via the
+// value correspondences; unmapped attributes get Skolem values or NULL.
+func (m *Mapping) targetTuple(lt *LogicalTable, row joinedRow) relational.Tuple {
+	members := map[string]bool{}
+	for _, t := range lt.Tables {
+		members[t.Name] = true
+	}
+	out := make(relational.Tuple, len(m.Target.Attrs))
+	var mappedVals []string
+	for i, ta := range m.Target.Attrs {
+		v := relational.Null
+		for _, c := range m.Corrs {
+			if c.TargetAttr != ta.Name || !members[c.Source.Name] {
+				continue
+			}
+			src := row[c.Source.Name]
+			if src == nil {
+				continue
+			}
+			cand := src[c.Source.AttrIndex(c.SourceAttr)]
+			if !cand.IsNull() {
+				v = cand
+				break
+			}
+		}
+		out[i] = v
+		if !v.IsNull() {
+			mappedVals = append(mappedVals, v.Str())
+		}
+	}
+	// Second pass: Skolemize unmapped attributes from the mapped values.
+	for i, ta := range m.Target.Attrs {
+		if !out[i].IsNull() {
+			continue
+		}
+		if hasCorrespondence(m.Corrs, ta.Name, members) {
+			continue // mapped but the joined row had no value: stay NULL
+		}
+		if ta.Type.Domain() == relational.DomainString {
+			out[i] = relational.S(skolem(ta.Name, mappedVals))
+		}
+	}
+	return out
+}
+
+func hasCorrespondence(corrs []match.Match, attr string, members map[string]bool) bool {
+	for _, c := range corrs {
+		if c.TargetAttr == attr && members[c.Source.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func skolem(attr string, vals []string) string {
+	return fmt.Sprintf("Sk_%s(%s)", attr, strings.Join(vals, "|"))
+}
+
+// SQL renders the mapping as a SQL-ish union of select-join queries, the
+// artifact a user would inspect (and Clio would emit).
+func (m *Mapping) SQL() string {
+	var parts []string
+	for _, lt := range m.Logical {
+		parts = append(parts, m.logicalSQL(lt))
+	}
+	return strings.Join(parts, "\nUNION ALL\n")
+}
+
+func (m *Mapping) logicalSQL(lt *LogicalTable) string {
+	members := map[string]bool{}
+	for _, t := range lt.Tables {
+		members[t.Name] = true
+	}
+	var sel []string
+	for _, ta := range m.Target.Attrs {
+		expr := "NULL"
+		for _, c := range m.Corrs {
+			if c.TargetAttr == ta.Name && members[c.Source.Name] {
+				expr = c.Source.Name + "." + c.SourceAttr
+				break
+			}
+		}
+		sel = append(sel, fmt.Sprintf("%s AS %s", expr, ta.Name))
+	}
+	var from strings.Builder
+	from.WriteString(lt.Tables[0].Name)
+	for _, j := range lt.Joins {
+		var on []string
+		for i := range j.LeftAttrs {
+			on = append(on, fmt.Sprintf("%s.%s = %s.%s",
+				j.Left.Name, j.LeftAttrs[i], j.Right.Name, j.RightAttrs[i]))
+		}
+		if j.RightCondAttr != "" {
+			on = append(on, fmt.Sprintf("%s.%s = %s", j.Right.Name, j.RightCondAttr, sqlLit(j.RightCondValue)))
+		}
+		fmt.Fprintf(&from, "\n  LEFT OUTER JOIN %s ON %s", j.Right.Name, strings.Join(on, " AND "))
+	}
+	return fmt.Sprintf("SELECT %s\nFROM %s", strings.Join(sel, ", "), from.String())
+}
+
+func sqlLit(v relational.Value) string {
+	if v.IsString() {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// ViewDefinitions renders CREATE VIEW statements for every view
+// participating in the mapping, so the emitted SQL is self-contained.
+func (m *Mapping) ViewDefinitions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, lt := range m.Logical {
+		for _, t := range lt.Tables {
+			if !t.IsView() || seen[t.Name] {
+				continue
+			}
+			seen[t.Name] = true
+			out = append(out, fmt.Sprintf("CREATE VIEW %s AS %s", t.Name, t.SQL()))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

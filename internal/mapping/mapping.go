@@ -1,0 +1,435 @@
+// Package mapping implements schema mapping in the style of Clio
+// restricted to the relational model (§4.1), extended with the paper's
+// new semantic association rules for views (§4.3): join rules 1-3 driven
+// by propagated keys and contextual foreign keys. Given value
+// correspondences (matches, possibly from views), it assembles logical
+// tables, generates mapping queries, and executes them over sample
+// instances — including the attribute-normalization mappings of
+// Examples 4.3-4.5 where rows of a narrow table become columns of a wide
+// one.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxmatch/internal/constraints"
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// JoinRule identifies which association rule produced a join.
+type JoinRule string
+
+// The association rules of §4.1 (fk) and §4.3 (join 1-3).
+const (
+	RuleFK    JoinRule = "fk"
+	RuleJoin1 JoinRule = "join1"
+	RuleJoin2 JoinRule = "join2"
+	RuleJoin3 JoinRule = "join3"
+)
+
+// Join is one equi-join between two source tables/views of a logical
+// table. For RuleJoin3 the right side additionally pins RightCondAttr =
+// RightCondValue (the contextual part of the contextual foreign key).
+type Join struct {
+	Left       *relational.Table
+	LeftAttrs  []string
+	Right      *relational.Table
+	RightAttrs []string
+	Rule       JoinRule
+
+	RightCondAttr  string
+	RightCondValue relational.Value
+}
+
+// String renders "V0 ⋈[name=name] V1 (join1)".
+func (j Join) String() string {
+	s := fmt.Sprintf("%s ⋈[%s=%s] %s (%s)",
+		j.Left.Name, strings.Join(j.LeftAttrs, ","),
+		strings.Join(j.RightAttrs, ","), j.Right.Name, j.Rule)
+	if j.RightCondAttr != "" {
+		s += fmt.Sprintf(" with %s.%s=%s", j.Right.Name, j.RightCondAttr, j.RightCondValue)
+	}
+	return s
+}
+
+// LogicalTable is one join-connected group of source tables/views that
+// together populate a target table (§4.1(a)).
+type LogicalTable struct {
+	// Tables in join order: Tables[0] is the root; Joins[i] connects a
+	// new table to one already present.
+	Tables []*relational.Table
+	Joins  []Join
+}
+
+// Names returns the member table names in join order.
+func (lt *LogicalTable) Names() []string {
+	out := make([]string, len(lt.Tables))
+	for i, t := range lt.Tables {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Mapping is map(RS,RT) for a single target table: the union over logical
+// tables of per-logical-table queries (§4.1(d)).
+type Mapping struct {
+	Target  *relational.Table
+	Logical []*LogicalTable
+	// Corrs are the value correspondences feeding this target table.
+	Corrs []match.Match
+}
+
+// Build assembles mappings from value correspondences. cons must contain
+// constraints on every participating view — run constraints.Propagate
+// (and/or mining) first; Build itself performs no constraint inference.
+// Matches are grouped by target table; within a group, source
+// tables/views are joined pairwise wherever an association rule applies,
+// and each resulting connected component becomes a logical table.
+func Build(corrs []match.Match, cons *constraints.Set) []*Mapping {
+	byTarget := map[string][]match.Match{}
+	var targetOrder []string
+	targets := map[string]*relational.Table{}
+	for _, c := range corrs {
+		name := c.Target.Name
+		if _, ok := targets[name]; !ok {
+			targets[name] = c.Target
+			targetOrder = append(targetOrder, name)
+		}
+		byTarget[name] = append(byTarget[name], c)
+	}
+	sort.Strings(targetOrder)
+
+	var out []*Mapping
+	for _, tname := range targetOrder {
+		group := byTarget[tname]
+		m := &Mapping{Target: targets[tname], Corrs: group}
+		m.Logical = buildLogicalTables(group, cons)
+		out = append(out, m)
+	}
+	return out
+}
+
+// buildLogicalTables collects the distinct sources of the matches and
+// connects them with association-rule joins, Kruskal style: an edge is
+// kept only when it connects two components.
+func buildLogicalTables(corrs []match.Match, cons *constraints.Set) []*LogicalTable {
+	var nodes []*relational.Table
+	seen := map[string]bool{}
+	for _, c := range corrs {
+		if !seen[c.Source.Name] {
+			seen[c.Source.Name] = true
+			nodes = append(nodes, c.Source)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, n := range nodes {
+		parent[n.Name] = n.Name
+	}
+
+	var joins []Join
+	for i := 0; i < len(nodes); i++ {
+		for k := i + 1; k < len(nodes); k++ {
+			a, b := nodes[i], nodes[k]
+			if find(a.Name) == find(b.Name) {
+				continue
+			}
+			j, ok := associate(a, b, cons)
+			if !ok {
+				continue
+			}
+			joins = append(joins, j)
+			parent[find(a.Name)] = find(b.Name)
+		}
+	}
+
+	// Group nodes and joins by component root.
+	byRoot := map[string]*LogicalTable{}
+	var rootOrder []string
+	for _, n := range nodes {
+		r := find(n.Name)
+		lt := byRoot[r]
+		if lt == nil {
+			lt = &LogicalTable{}
+			byRoot[r] = lt
+			rootOrder = append(rootOrder, r)
+		}
+		lt.Tables = append(lt.Tables, n)
+	}
+	for _, j := range joins {
+		byRoot[find(j.Left.Name)].Joins = append(byRoot[find(j.Left.Name)].Joins, j)
+	}
+	var out []*LogicalTable
+	for _, r := range rootOrder {
+		out = append(out, orderLogical(byRoot[r]))
+	}
+	return out
+}
+
+// orderLogical reorders tables and joins so that every join's Left is
+// already placed: execution walks Joins in order, attaching Right.
+func orderLogical(lt *LogicalTable) *LogicalTable {
+	if len(lt.Tables) <= 1 || len(lt.Joins) == 0 {
+		return lt
+	}
+	placed := map[string]bool{lt.Tables[0].Name: true}
+	ordered := []*relational.Table{lt.Tables[0]}
+	var orderedJoins []Join
+	remaining := append([]Join(nil), lt.Joins...)
+	for len(remaining) > 0 {
+		progressed := false
+		for i := 0; i < len(remaining); i++ {
+			j := remaining[i]
+			switch {
+			case placed[j.Left.Name] && !placed[j.Right.Name]:
+				placed[j.Right.Name] = true
+				ordered = append(ordered, j.Right)
+				orderedJoins = append(orderedJoins, j)
+			case placed[j.Right.Name] && !placed[j.Left.Name]:
+				// Flip so that Left is the placed side.
+				placed[j.Left.Name] = true
+				ordered = append(ordered, j.Left)
+				orderedJoins = append(orderedJoins, flipJoin(j))
+			case placed[j.Left.Name] && placed[j.Right.Name]:
+				// Redundant edge (should not happen with Kruskal).
+			default:
+				continue
+			}
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			// Disconnected joins (foreign components); drop them.
+			break
+		}
+	}
+	// Tables not reached by any join stay as isolated members.
+	for _, t := range lt.Tables {
+		if !placed[t.Name] {
+			ordered = append(ordered, t)
+		}
+	}
+	return &LogicalTable{Tables: ordered, Joins: orderedJoins}
+}
+
+func flipJoin(j Join) Join {
+	// Flipping a join3 edge would lose the pinned right-side condition;
+	// keep the contextual side on the right by swapping only symmetric
+	// rules.
+	if j.Rule == RuleJoin3 {
+		return j
+	}
+	return Join{
+		Left: j.Right, LeftAttrs: j.RightAttrs,
+		Right: j.Left, RightAttrs: j.LeftAttrs,
+		Rule: j.Rule,
+	}
+}
+
+// associate tries the association rules on a pair of sources, in the
+// paper's order: the standard FK rule, then join rules 1-3.
+func associate(a, b *relational.Table, cons *constraints.Set) (Join, bool) {
+	if j, ok := fkRule(a, b, cons); ok {
+		return j, true
+	}
+	if j, ok := fkRule(b, a, cons); ok {
+		return flipOrKeep(j), true
+	}
+	if j, ok := join1(a, b, cons); ok {
+		return j, true
+	}
+	if j, ok := join2(a, b, cons); ok {
+		return j, true
+	}
+	if j, ok := join3(a, b, cons); ok {
+		return j, true
+	}
+	if j, ok := join3(b, a, cons); ok {
+		return j, true
+	}
+	return Join{}, false
+}
+
+func flipOrKeep(j Join) Join { return j }
+
+// fkRule is Clio's standard rule: a foreign key from a to b yields an
+// outer join on the key (§4.1, rule (b)).
+func fkRule(a, b *relational.Table, cons *constraints.Set) (Join, bool) {
+	for _, fk := range cons.FKs {
+		if fk.From != a.Name || fk.To != b.Name {
+			continue
+		}
+		return Join{
+			Left: a, LeftAttrs: append([]string(nil), fk.FromAttrs...),
+			Right: b, RightAttrs: append([]string(nil), fk.ToAttrs...),
+			Rule: RuleFK,
+		}, true
+	}
+	return Join{}, false
+}
+
+// join1 (§4.3): V1, V2 are views over the same attributes of the same
+// base table with simple conditions a = v1, a = v2, v1 ≠ v2; both have a
+// propagated key X and contextual foreign keys on [X, a=vi]; then join
+// V1 and V2 on X. The propagated constraints certify that X identifies
+// the same real-world entity in both views (Example 4.3-4.4: the ten
+// assignment views join on student name).
+func join1(a, b *relational.Table, cons *constraints.Set) (Join, bool) {
+	if !sameBaseAndAttrs(a, b) {
+		return Join{}, false
+	}
+	condA, valA, okA := eqCond(a)
+	condB, valB, okB := eqCond(b)
+	if !okA || !okB || condA != condB || valA.Equal(valB) {
+		return Join{}, false
+	}
+	x, ok := sharedKeyWithCFK(a, b, condA, cons)
+	if !ok {
+		return Join{}, false
+	}
+	return Join{Left: a, LeftAttrs: x, Right: b, RightAttrs: x, Rule: RuleJoin1}, true
+}
+
+// join2 (§4.3): V1, V2 are views over different attribute sets of the
+// same base table with the same condition a = v; both have a key X
+// contained in both attribute sets plus CFKs; then join on X
+// (Example 4.5: grade views join instructor views of the same
+// assignment only).
+func join2(a, b *relational.Table, cons *constraints.Set) (Join, bool) {
+	if a.Base == nil || b.Base == nil || a.Base.Root() != b.Base.Root() {
+		return Join{}, false
+	}
+	if sameAttrSets(a, b) {
+		return Join{}, false // that is join1 territory
+	}
+	condA, valA, okA := eqCond(a)
+	condB, valB, okB := eqCond(b)
+	if !okA || !okB || condA != condB || !valA.Equal(valB) {
+		return Join{}, false // §4.3(c): identical conditions required
+	}
+	x, ok := sharedKeyWithCFK(a, b, condA, cons)
+	if !ok {
+		return Join{}, false
+	}
+	return Join{Left: a, LeftAttrs: x, Right: b, RightAttrs: x, Rule: RuleJoin2}, true
+}
+
+// join3 (§4.3): a contextual foreign key V1[Y, a=v] ⊆ R[X, b] yields an
+// outer join from V1 to R on Y = X with R.b = v pinned.
+func join3(a, b *relational.Table, cons *constraints.Set) (Join, bool) {
+	for _, c := range cons.CFKs {
+		if c.From != a.Name || c.To != b.Name {
+			continue
+		}
+		return Join{
+			Left: a, LeftAttrs: append([]string(nil), c.FromAttrs...),
+			Right: b, RightAttrs: append([]string(nil), c.ToAttrs...),
+			Rule:           RuleJoin3,
+			RightCondAttr:  c.ToAttr,
+			RightCondValue: c.CondValue,
+		}, true
+	}
+	return Join{}, false
+}
+
+func eqCond(v *relational.Table) (attr string, val relational.Value, ok bool) {
+	if v.Cond == nil {
+		return "", relational.Null, false
+	}
+	eq, isEq := v.Cond.(relational.Eq)
+	if !isEq {
+		return "", relational.Null, false
+	}
+	return eq.Attr, eq.Value, true
+}
+
+func sameBaseAndAttrs(a, b *relational.Table) bool {
+	if a.Base == nil || b.Base == nil || a.Base.Root() != b.Base.Root() {
+		return false
+	}
+	return sameAttrSets(a, b)
+}
+
+func sameAttrSets(a, b *relational.Table) bool {
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	names := map[string]bool{}
+	for _, at := range a.Attrs {
+		names[at.Name] = true
+	}
+	for _, bt := range b.Attrs {
+		if !names[bt.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// sharedKeyWithCFK finds an attribute set X that is a key of both views
+// and is covered by contextual foreign keys over condition attribute a
+// on both sides, per join rules 1 and 2. The narrowest qualifying key is
+// preferred (a join on name beats a join on a wider composite), with
+// lexicographic tie-break for determinism. Keys mentioning the condition
+// attribute itself are skipped: that attribute is constant inside each
+// view and differs across views, so joining on it crosses no view
+// boundary.
+func sharedKeyWithCFK(a, b *relational.Table, condAttr string, cons *constraints.Set) ([]string, bool) {
+	keys := append([]constraints.Key(nil), cons.KeysOf(a.Name)...)
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i].Attrs) != len(keys[j].Attrs) {
+			return len(keys[i].Attrs) < len(keys[j].Attrs)
+		}
+		return strings.Join(keys[i].Attrs, ",") < strings.Join(keys[j].Attrs, ",")
+	})
+	for _, ka := range keys {
+		skip := false
+		for _, attr := range ka.Attrs {
+			if attr == condAttr {
+				skip = true
+				break
+			}
+		}
+		if skip || !cons.HasKey(b.Name, ka.Attrs) {
+			continue
+		}
+		if hasCFKFor(a.Name, ka.Attrs, condAttr, cons) && hasCFKFor(b.Name, ka.Attrs, condAttr, cons) {
+			return append([]string(nil), ka.Attrs...), true
+		}
+	}
+	return nil, false
+}
+
+func hasCFKFor(view string, x []string, condAttr string, cons *constraints.Set) bool {
+	for _, c := range cons.CFKs {
+		if c.From != view || c.CondAttr != condAttr {
+			continue
+		}
+		if len(c.FromAttrs) == len(x) {
+			all := true
+			for i := range x {
+				if c.FromAttrs[i] != x[i] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,368 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ctxmatch/internal/constraints"
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// gradesFixture builds Example 4.3's scenario: a narrow project table
+// (name, assignt, grade), n assignment views V0..V(n-1), and the wide
+// projs target (name, grade0..grade(n-1)), with propagated constraints.
+func gradesFixture(students, assignts int) (
+	base *relational.Table,
+	views []*relational.Table,
+	target *relational.Table,
+	cons *constraints.Set,
+	corrs []match.Match,
+) {
+	base = relational.NewTable("project",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "assignt", Type: relational.Int},
+		relational.Attribute{Name: "grade", Type: relational.String},
+	)
+	grades := []string{"A", "B", "C", "D", "F"}
+	for s := 0; s < students; s++ {
+		name := fmt.Sprintf("student%02d", s)
+		for a := 0; a < assignts; a++ {
+			base.Append(relational.Tuple{
+				relational.S(name), relational.I(a), relational.S(grades[(s+a)%len(grades)]),
+			})
+		}
+	}
+
+	attrs := []relational.Attribute{{Name: "name", Type: relational.String}}
+	for a := 0; a < assignts; a++ {
+		attrs = append(attrs, relational.Attribute{Name: fmt.Sprintf("grade%d", a), Type: relational.String})
+	}
+	target = relational.NewTable("projs", attrs...)
+
+	declared := &constraints.Set{}
+	declared.AddKey(constraints.Key{Table: "project", Attrs: []string{"name", "assignt"}})
+
+	for a := 0; a < assignts; a++ {
+		v := base.Select(fmt.Sprintf("V%d", a), relational.Eq{Attr: "assignt", Value: relational.I(a)})
+		views = append(views, v)
+		corrs = append(corrs,
+			match.Match{Source: v, SourceAttr: "name", Target: target, TargetAttr: "name",
+				Cond: v.Cond, Confidence: 0.95},
+			match.Match{Source: v, SourceAttr: "grade", Target: target, TargetAttr: fmt.Sprintf("grade%d", a),
+				Cond: v.Cond, Confidence: 0.9},
+		)
+	}
+	cons = constraints.Propagate(declared, views)
+	return base, views, target, cons, corrs
+}
+
+func TestJoin1GroupsAssignmentViews(t *testing.T) {
+	_, views, _, cons, corrs := gradesFixture(8, 4)
+	maps := Build(corrs, cons)
+	if len(maps) != 1 {
+		t.Fatalf("want 1 mapping, got %d", len(maps))
+	}
+	m := maps[0]
+	if len(m.Logical) != 1 {
+		t.Fatalf("all views should join into one logical table, got %d", len(m.Logical))
+	}
+	lt := m.Logical[0]
+	if len(lt.Tables) != len(views) {
+		t.Errorf("logical table has %d members, want %d", len(lt.Tables), len(views))
+	}
+	if len(lt.Joins) != len(views)-1 {
+		t.Errorf("spanning tree should have %d joins, got %d", len(views)-1, len(lt.Joins))
+	}
+	for _, j := range lt.Joins {
+		if j.Rule != RuleJoin1 {
+			t.Errorf("expected join1, got %v", j)
+		}
+		if len(j.LeftAttrs) != 1 || j.LeftAttrs[0] != "name" {
+			t.Errorf("join should be on name: %v", j)
+		}
+	}
+}
+
+func TestExecuteAttributeNormalization(t *testing.T) {
+	base, _, _, cons, corrs := gradesFixture(8, 4)
+	maps := Build(corrs, cons)
+	out := maps[0].Execute()
+	if out.Len() != 8 {
+		t.Fatalf("wide table should have one row per student, got %d", out.Len())
+	}
+	// Every wide row must agree with the narrow base data.
+	for _, row := range out.Rows {
+		name := row[out.AttrIndex("name")]
+		if name.IsNull() {
+			t.Fatal("name must be mapped")
+		}
+		for a := 0; a < 4; a++ {
+			got := row[out.AttrIndex(fmt.Sprintf("grade%d", a))]
+			want := relational.Null
+			for _, brow := range base.Rows {
+				if brow[0].Equal(name) && brow[1].Equal(relational.I(a)) {
+					want = brow[2]
+					break
+				}
+			}
+			if !got.Equal(want) {
+				t.Errorf("student %v grade%d = %v, want %v", name, a, got, want)
+			}
+		}
+	}
+}
+
+func TestExecuteRowsUniquePerStudent(t *testing.T) {
+	_, _, _, cons, corrs := gradesFixture(10, 5)
+	out := Build(corrs, cons)[0].Execute()
+	seen := map[string]bool{}
+	for _, row := range out.Rows {
+		k := row[0].Key()
+		if seen[k] {
+			t.Errorf("duplicate student row %v", row[0])
+		}
+		seen[k] = true
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	_, _, _, cons, corrs := gradesFixture(4, 2)
+	m := Build(corrs, cons)[0]
+	sql := m.SQL()
+	for _, want := range []string{"SELECT", "V0.grade AS grade0", "V1.grade AS grade1",
+		"LEFT OUTER JOIN", "V0.name = V1.name"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+	defs := m.ViewDefinitions()
+	if len(defs) != 2 {
+		t.Fatalf("want 2 view definitions, got %v", defs)
+	}
+	if !strings.Contains(defs[0], "CREATE VIEW V0 AS select * from project where assignt = 0") {
+		t.Errorf("view definition = %q", defs[0])
+	}
+}
+
+func TestJoin2SameConditionDifferentAttrs(t *testing.T) {
+	// Example 4.5: grade views and instructor views of the same
+	// assignment join on name; different assignments must not.
+	base := relational.NewTable("project",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "assignt", Type: relational.Int},
+		relational.Attribute{Name: "grade", Type: relational.String},
+		relational.Attribute{Name: "instructor", Type: relational.String},
+	)
+	for s := 0; s < 6; s++ {
+		for a := 0; a < 2; a++ {
+			base.Append(relational.Tuple{
+				relational.S(fmt.Sprintf("student%d", s)), relational.I(a),
+				relational.S("A"), relational.S(fmt.Sprintf("prof%d", a)),
+			})
+		}
+	}
+	declared := &constraints.Set{}
+	declared.AddKey(constraints.Key{Table: "project", Attrs: []string{"name", "assignt"}})
+
+	v0, err := base.Project("V0", []string{"name", "grade"}, relational.Eq{Attr: "assignt", Value: relational.I(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0, err := base.Project("U0", []string{"name", "instructor"}, relational.Eq{Attr: "assignt", Value: relational.I(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := base.Project("U1", []string{"name", "instructor"}, relational.Eq{Attr: "assignt", Value: relational.I(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := constraints.Propagate(declared, []*relational.Table{v0, u0, u1})
+
+	if j, ok := join2(v0, u0, cons); !ok || j.Rule != RuleJoin2 {
+		t.Errorf("join2 should apply to V0/U0 (same condition): %v %v", j, ok)
+	}
+	if _, ok := join2(v0, u1, cons); ok {
+		t.Error("join2 must not apply across different conditions (V0/U1)")
+	}
+	if _, ok := join1(v0, u0, cons); ok {
+		t.Error("join1 requires identical attribute sets")
+	}
+}
+
+func TestJoin3ContextualForeignKey(t *testing.T) {
+	// A view referencing its base through a CFK joins to it with the
+	// pinned condition on the base side.
+	base := relational.NewTable("project",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "assignt", Type: relational.Int},
+		relational.Attribute{Name: "grade", Type: relational.String},
+	)
+	for s := 0; s < 5; s++ {
+		for a := 0; a < 2; a++ {
+			base.Append(relational.Tuple{
+				relational.S(fmt.Sprintf("s%d", s)), relational.I(a), relational.S("B"),
+			})
+		}
+	}
+	declared := &constraints.Set{}
+	declared.AddKey(constraints.Key{Table: "project", Attrs: []string{"name", "assignt"}})
+	v1, err := base.Project("V1", []string{"name", "grade"}, relational.Eq{Attr: "assignt", Value: relational.I(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := constraints.Propagate(declared, []*relational.Table{v1})
+
+	j, ok := join3(v1, base, cons)
+	if !ok {
+		t.Fatal("join3 should fire on the propagated CFK")
+	}
+	if j.Rule != RuleJoin3 || j.RightCondAttr != "assignt" || !j.RightCondValue.Equal(relational.I(1)) {
+		t.Errorf("join3 shape wrong: %v", j)
+	}
+
+	// Execute a mapping that uses it: target wants name+grade from V1
+	// and assignt from the base — only reachable through the join.
+	target := relational.NewTable("tgt",
+		relational.Attribute{Name: "who", Type: relational.String},
+		relational.Attribute{Name: "mark", Type: relational.String},
+		relational.Attribute{Name: "num", Type: relational.Int},
+	)
+	corrs := []match.Match{
+		{Source: v1, SourceAttr: "name", Target: target, TargetAttr: "who"},
+		{Source: v1, SourceAttr: "grade", Target: target, TargetAttr: "mark"},
+		{Source: base, SourceAttr: "assignt", Target: target, TargetAttr: "num"},
+	}
+	maps := Build(corrs, cons)
+	out := maps[0].Execute()
+	if out.Len() != 5 {
+		t.Fatalf("want 5 rows, got %d", out.Len())
+	}
+	for _, row := range out.Rows {
+		if !row[2].Equal(relational.I(1)) {
+			t.Errorf("join3 must pin assignt=1, got %v", row)
+		}
+	}
+}
+
+func TestDisconnectedSourcesYieldUnion(t *testing.T) {
+	// Two unrelated sources mapping to the same target: two logical
+	// tables whose results union.
+	a := relational.NewTable("a", relational.Attribute{Name: "x", Type: relational.String})
+	b := relational.NewTable("b", relational.Attribute{Name: "y", Type: relational.String})
+	for i := 0; i < 3; i++ {
+		a.Append(relational.Tuple{relational.S(fmt.Sprintf("a%d", i))})
+		b.Append(relational.Tuple{relational.S(fmt.Sprintf("b%d", i))})
+	}
+	target := relational.NewTable("t", relational.Attribute{Name: "v", Type: relational.String})
+	corrs := []match.Match{
+		{Source: a, SourceAttr: "x", Target: target, TargetAttr: "v"},
+		{Source: b, SourceAttr: "y", Target: target, TargetAttr: "v"},
+	}
+	maps := Build(corrs, &constraints.Set{})
+	if len(maps) != 1 || len(maps[0].Logical) != 2 {
+		t.Fatalf("want one mapping with two logical tables, got %+v", maps)
+	}
+	out := maps[0].Execute()
+	if out.Len() != 6 {
+		t.Errorf("union should produce 6 rows, got %d", out.Len())
+	}
+}
+
+func TestSkolemAndNullHandling(t *testing.T) {
+	src := relational.NewTable("s",
+		relational.Attribute{Name: "name", Type: relational.String},
+	)
+	src.Append(relational.Tuple{relational.S("alice")})
+	target := relational.NewTable("t",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "id", Type: relational.String},
+		relational.Attribute{Name: "amount", Type: relational.Real},
+	)
+	corrs := []match.Match{
+		{Source: src, SourceAttr: "name", Target: target, TargetAttr: "name"},
+	}
+	out := Build(corrs, &constraints.Set{})[0].Execute()
+	if out.Len() != 1 {
+		t.Fatal("one row expected")
+	}
+	row := out.Rows[0]
+	if !row[0].Equal(relational.S("alice")) {
+		t.Errorf("name = %v", row[0])
+	}
+	if row[1].IsNull() || !strings.HasPrefix(row[1].Str(), "Sk_id(") {
+		t.Errorf("string attr should be Skolemized: %v", row[1])
+	}
+	if !row[2].IsNull() {
+		t.Errorf("numeric attr should stay NULL: %v", row[2])
+	}
+}
+
+func TestOuterJoinKeepsUnmatchedRows(t *testing.T) {
+	// A student present in V0 but not V1 must survive with a NULL grade1.
+	base := relational.NewTable("project",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "assignt", Type: relational.Int},
+		relational.Attribute{Name: "grade", Type: relational.String},
+	)
+	base.Append(relational.Tuple{relational.S("amy"), relational.I(0), relational.S("A")})
+	base.Append(relational.Tuple{relational.S("amy"), relational.I(1), relational.S("B")})
+	base.Append(relational.Tuple{relational.S("bob"), relational.I(0), relational.S("C")})
+	// bob skipped assignment 1.
+	declared := &constraints.Set{}
+	declared.AddKey(constraints.Key{Table: "project", Attrs: []string{"name", "assignt"}})
+	v0 := base.Select("V0", relational.Eq{Attr: "assignt", Value: relational.I(0)})
+	v1 := base.Select("V1", relational.Eq{Attr: "assignt", Value: relational.I(1)})
+	cons := constraints.Propagate(declared, []*relational.Table{v0, v1})
+
+	target := relational.NewTable("projs",
+		relational.Attribute{Name: "name", Type: relational.String},
+		relational.Attribute{Name: "grade0", Type: relational.String},
+		relational.Attribute{Name: "grade1", Type: relational.String},
+	)
+	corrs := []match.Match{
+		{Source: v0, SourceAttr: "name", Target: target, TargetAttr: "name"},
+		{Source: v0, SourceAttr: "grade", Target: target, TargetAttr: "grade0"},
+		{Source: v1, SourceAttr: "grade", Target: target, TargetAttr: "grade1"},
+	}
+	out := Build(corrs, cons)[0].Execute()
+	if out.Len() != 2 {
+		t.Fatalf("want 2 rows, got %d: %v", out.Len(), out.Rows)
+	}
+	var bobRow relational.Tuple
+	for _, row := range out.Rows {
+		if row[0].Equal(relational.S("bob")) {
+			bobRow = row
+		}
+	}
+	if bobRow == nil {
+		t.Fatal("bob vanished: outer join broken")
+	}
+	if !bobRow[1].Equal(relational.S("C")) || !bobRow[2].IsNull() {
+		t.Errorf("bob row = %v, want [bob C NULL]", bobRow)
+	}
+}
+
+func TestJoinStringRendering(t *testing.T) {
+	a := relational.NewTable("A", relational.Attribute{Name: "k", Type: relational.Int})
+	b := relational.NewTable("B", relational.Attribute{Name: "k", Type: relational.Int},
+		relational.Attribute{Name: "cond", Type: relational.Int})
+	j := Join{Left: a, LeftAttrs: []string{"k"}, Right: b, RightAttrs: []string{"k"},
+		Rule: RuleJoin3, RightCondAttr: "cond", RightCondValue: relational.I(7)}
+	s := j.String()
+	for _, want := range []string{"A ⋈[k=k] B", "join3", "B.cond=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Join.String = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLogicalTableNames(t *testing.T) {
+	_, _, _, cons, corrs := gradesFixture(3, 3)
+	lt := Build(corrs, cons)[0].Logical[0]
+	names := lt.Names()
+	if len(names) != 3 {
+		t.Errorf("Names = %v", names)
+	}
+}

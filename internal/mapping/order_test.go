@@ -1,0 +1,85 @@
+package mapping
+
+import (
+	"testing"
+
+	"ctxmatch/internal/relational"
+)
+
+// TestOrderLogicalFlipsJoins: when Kruskal discovers an edge whose Left
+// side is not yet placed, orderLogical must flip it so execution can
+// always attach Right to an existing row set.
+func TestOrderLogicalFlipsJoins(t *testing.T) {
+	a := relational.NewTable("A", relational.Attribute{Name: "k", Type: relational.Int})
+	b := relational.NewTable("B", relational.Attribute{Name: "k", Type: relational.Int})
+	c := relational.NewTable("C", relational.Attribute{Name: "k", Type: relational.Int})
+	for i := 0; i < 3; i++ {
+		a.Append(relational.Tuple{relational.I(i)})
+		b.Append(relational.Tuple{relational.I(i)})
+		c.Append(relational.Tuple{relational.I(i)})
+	}
+	// Joins deliberately ordered so the second edge's Left (C) is not
+	// placed when it is considered: A—B then C—B.
+	lt := &LogicalTable{
+		Tables: []*relational.Table{a, b, c},
+		Joins: []Join{
+			{Left: a, LeftAttrs: []string{"k"}, Right: b, RightAttrs: []string{"k"}, Rule: RuleJoin1},
+			{Left: c, LeftAttrs: []string{"k"}, Right: b, RightAttrs: []string{"k"}, Rule: RuleJoin1},
+		},
+	}
+	ordered := orderLogical(lt)
+	if len(ordered.Joins) != 2 {
+		t.Fatalf("joins = %d", len(ordered.Joins))
+	}
+	placed := map[string]bool{ordered.Tables[0].Name: true}
+	for _, j := range ordered.Joins {
+		if !placed[j.Left.Name] {
+			t.Fatalf("join %v has unplaced left side", j)
+		}
+		placed[j.Right.Name] = true
+	}
+	// Execution over the ordered table yields the 3 joined rows.
+	rows := ordered.rows()
+	if len(rows) != 3 {
+		t.Fatalf("join result = %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r["A"] == nil || r["B"] == nil || r["C"] == nil {
+			t.Fatalf("row missing a member: %v", r)
+		}
+	}
+}
+
+// TestFlipJoinPreservesJoin3: join3 edges carry a pinned right-side
+// condition that flipping would lose, so flipJoin must keep them as-is.
+func TestFlipJoinPreservesJoin3(t *testing.T) {
+	a := relational.NewTable("A", relational.Attribute{Name: "k", Type: relational.Int})
+	b := relational.NewTable("B",
+		relational.Attribute{Name: "k", Type: relational.Int},
+		relational.Attribute{Name: "cond", Type: relational.Int},
+	)
+	j := Join{Left: a, LeftAttrs: []string{"k"}, Right: b, RightAttrs: []string{"k"},
+		Rule: RuleJoin3, RightCondAttr: "cond", RightCondValue: relational.I(1)}
+	f := flipJoin(j)
+	if f.Left != a || f.RightCondAttr != "cond" {
+		t.Errorf("flipJoin mangled join3: %v", f)
+	}
+	// Symmetric rules do flip.
+	j.Rule = RuleJoin1
+	j.RightCondAttr = ""
+	f = flipJoin(j)
+	if f.Left != b || f.Right != a {
+		t.Errorf("flipJoin did not flip join1: %v", f)
+	}
+}
+
+// TestEmptyLogicalTable: a logical table with no members yields no rows.
+func TestEmptyLogicalTable(t *testing.T) {
+	lt := &LogicalTable{}
+	if rows := lt.rows(); rows != nil {
+		t.Errorf("empty logical table produced rows: %v", rows)
+	}
+	if got := orderLogical(lt); len(got.Tables) != 0 {
+		t.Errorf("orderLogical invented tables: %v", got.Names())
+	}
+}

@@ -1,0 +1,365 @@
+// Package match implements the standard (non-contextual) schema matching
+// system of §2.3 that contextual matching treats as a black box. A set of
+// matchers computes raw similarity scores between attribute pairs; for
+// each source attribute and matcher, the distribution of raw scores to
+// all target attributes is treated as samples of a normal distribution,
+// converting raw scores to confidences; per-matcher confidences are then
+// combined by weight.
+package match
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ctxmatch/internal/relational"
+	"ctxmatch/internal/stats"
+	"ctxmatch/internal/tokenize"
+)
+
+// Match is the paper's match triple (RS.s, RT.t, c) plus the quality
+// numbers the algorithms reason about. Cond == nil means the constant
+// TRUE (a standard match). Source may be a base table or an inferred
+// view.
+type Match struct {
+	Source     *relational.Table
+	SourceAttr string
+	Target     *relational.Table
+	TargetAttr string
+	Cond       relational.Condition
+
+	Score      float64 // average raw matcher score s_i
+	Confidence float64 // combined confidence f_i in [0,1]
+}
+
+// IsStandard reports whether the match is a standard match: TRUE
+// condition on a base table (§2.1).
+func (m Match) IsStandard() bool {
+	if m.Source.IsView() {
+		return false
+	}
+	if m.Cond == nil {
+		return true
+	}
+	_, isTrue := m.Cond.(relational.True)
+	return isTrue
+}
+
+// String renders the match for display, e.g.
+// "inv.name → book.title [type = 1] (conf 0.93)".
+func (m Match) String() string {
+	s := fmt.Sprintf("%s.%s → %s.%s", m.Source.Root().Name, m.SourceAttr, m.Target.Name, m.TargetAttr)
+	if !m.IsStandard() && m.Cond != nil {
+		s += " [" + m.Cond.String() + "]"
+	}
+	return fmt.Sprintf("%s (conf %.3f)", s, m.Confidence)
+}
+
+// AttrMatcher scores the similarity of one source column against one
+// target column on sample data. Scores are raw: they need not be
+// comparable across matchers, only across target attributes for a fixed
+// source attribute (the normalization step handles the rest).
+type AttrMatcher interface {
+	// Name identifies the matcher in diagnostics.
+	Name() string
+	// Weight is the matcher's share in confidence combination.
+	Weight() float64
+	// Applicable reports whether the matcher has anything meaningful to
+	// say about the pair (e.g. the numeric matcher requires two
+	// numeric-domain attributes). Inapplicable matchers are excluded
+	// from scoring and normalization rather than contributing a
+	// meaningless neutral score.
+	Applicable(src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) bool
+	// Score returns the raw similarity of src.srcAttr and tgt.tgtAttr.
+	// Column-derived features are memoized in cache (never nil), which
+	// makes standard matching linear rather than quadratic in column
+	// scans: one source column is scored against every target attribute.
+	Score(cache *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64
+}
+
+// FeatureCache memoizes per-column derived features (3-gram vectors,
+// numeric slices) keyed by table identity and attribute. A Bound owns
+// one for the lifetime of a matching run; it is not safe for concurrent
+// use.
+type FeatureCache struct {
+	ngrams  map[colKey]tokenize.Vector
+	numbers map[colKey][]float64
+}
+
+type colKey struct {
+	t    *relational.Table
+	attr string
+}
+
+// NewFeatureCache returns an empty cache.
+func NewFeatureCache() *FeatureCache {
+	return &FeatureCache{
+		ngrams:  map[colKey]tokenize.Vector{},
+		numbers: map[colKey][]float64{},
+	}
+}
+
+// NGramVector returns the aggregate trigram frequency vector of the
+// column, computing it at most once per (table, attribute). maxValues
+// caps how many values are folded in (0 = all); the cap is part of the
+// column's identity only on first use, matching ValueNGramMatcher's
+// single configuration per engine.
+func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues int) tokenize.Vector {
+	key := colKey{t, attr}
+	if v, ok := c.ngrams[key]; ok {
+		return v
+	}
+	vec := tokenize.Vector{}
+	n := 0
+	for _, v := range t.Column(attr) {
+		if v.IsNull() {
+			continue
+		}
+		vec.Add(tokenize.Trigrams(v.Str()))
+		n++
+		if maxValues > 0 && n >= maxValues {
+			break
+		}
+	}
+	c.ngrams[key] = vec
+	return vec
+}
+
+// Numeric returns the column's numeric values, computed at most once per
+// (table, attribute).
+func (c *FeatureCache) Numeric(t *relational.Table, attr string) []float64 {
+	key := colKey{t, attr}
+	if v, ok := c.numbers[key]; ok {
+		return v
+	}
+	out := []float64{}
+	for _, v := range t.Column(attr) {
+		if x, ok := v.Float(); ok {
+			out = append(out, x)
+		}
+	}
+	c.numbers[key] = out
+	return out
+}
+
+// Engine bundles a matcher set. The zero value is unusable; construct
+// with NewEngine (default matcher suite) or assemble Matchers directly.
+type Engine struct {
+	Matchers []AttrMatcher
+	// EvidenceScale gates relative confidence by absolute evidence: a
+	// matcher's confidence is Φ(z) · (1 - exp(-raw/EvidenceScale)), so a
+	// pair whose raw score is near zero cannot become confident merely
+	// by being the best of a bad lot. Zero or negative disables the
+	// gate, restoring the pure §2.3 normalization (exposed for the
+	// ablation benchmarks).
+	EvidenceScale float64
+}
+
+// NewEngine returns an engine with the default matcher suite: attribute
+// name similarity, instance 3-gram similarity, numeric distribution
+// similarity, and declared-type compatibility — the kinds of evidence
+// enumerated in §1 and §2.3. Instance-based matchers carry most of the
+// weight: contextual matching works by re-scoring instance evidence
+// under candidate views, and schema-level scores are invariant under
+// view restriction.
+func NewEngine() *Engine {
+	return &Engine{
+		Matchers: []AttrMatcher{
+			NameMatcher{W: 0.15},
+			ValueNGramMatcher{W: 1.0},
+			NumericMatcher{W: 1.0},
+			TypeMatcher{W: 0.05},
+		},
+		EvidenceScale: 0.08,
+	}
+}
+
+// Bound is an engine bound to one source table and a target schema, with
+// the per-(source attribute, matcher) normalization statistics of §2.3
+// precomputed over the base sample. ContextMatch keeps the Bound around
+// so view re-scoring (ScoreMatch in Figure 5) reuses the base attribute's
+// score distribution, as the strawman discussion prescribes.
+type Bound struct {
+	engine *Engine
+	src    *relational.Table
+	tgt    *relational.Schema
+	cache  *FeatureCache
+
+	targets []relational.AttrRef
+	// norm[matcher][srcAttr] = (mean, std) of raw scores from srcAttr to
+	// every target attribute.
+	norm []map[string]normStat
+}
+
+type normStat struct{ mu, sigma float64 }
+
+// Bind precomputes normalization statistics for matching src against all
+// tables of tgt.
+func (e *Engine) Bind(src *relational.Table, tgt *relational.Schema) *Bound {
+	b := &Bound{engine: e, src: src, tgt: tgt, cache: NewFeatureCache()}
+	for _, tt := range tgt.Tables {
+		for _, a := range tt.Attrs {
+			b.targets = append(b.targets, relational.AttrRef{Table: tt.Name, Attr: a.Name})
+		}
+	}
+	b.norm = make([]map[string]normStat, len(e.Matchers))
+	for mi, m := range e.Matchers {
+		b.norm[mi] = make(map[string]normStat, len(src.Attrs))
+		for _, sa := range src.Attrs {
+			var acc stats.Moments
+			// A zero pseudo-observation anchors the distribution at the
+			// "unrelated column" score. With many target attributes it
+			// is negligible; with very few it keeps the sample from
+			// degenerating (two real scores pin the better one at z=+1
+			// no matter how raw scores move under a view).
+			acc.Add(0)
+			for _, ref := range b.targets {
+				tt := tgt.Table(ref.Table)
+				if m.Applicable(src, sa.Name, tt, ref.Attr) {
+					acc.Add(m.Score(b.cache, src, sa.Name, tt, ref.Attr))
+				}
+			}
+			sigma := acc.Std()
+			if sigma < minNormSigma {
+				sigma = minNormSigma
+			}
+			b.norm[mi][sa.Name] = normStat{mu: acc.Mean(), sigma: sigma}
+		}
+	}
+	return b
+}
+
+// minNormSigma floors the normalization deviation so that a source
+// attribute whose scores are all nearly equal does not turn microscopic
+// raw differences into extreme confidences.
+const minNormSigma = 0.05
+
+// Score evaluates the (possibly view-restricted) source column against a
+// target column and returns the average raw score and combined
+// confidence. srcView must be the bound source table or a view whose
+// Root is the bound source table: the normalization statistics of the
+// base attribute are reused either way.
+func (b *Bound) Score(srcView *relational.Table, srcAttr string, tgtTable, tgtAttr string) (score, confidence float64) {
+	tt := b.tgt.Table(tgtTable)
+	if tt == nil || srcView.AttrIndex(srcAttr) < 0 || tt.AttrIndex(tgtAttr) < 0 {
+		return 0, 0
+	}
+	var totalScore, totalConf, totalWeight float64
+	applicable := 0
+	for mi, m := range b.engine.Matchers {
+		if !m.Applicable(srcView, srcAttr, tt, tgtAttr) {
+			continue
+		}
+		applicable++
+		raw := m.Score(b.cache, srcView, srcAttr, tt, tgtAttr)
+		ns := b.norm[mi][srcAttr]
+		conf := stats.NormalCDF(raw, ns.mu, ns.sigma)
+		if b.engine.EvidenceScale > 0 {
+			conf *= 1 - math.Exp(-raw/b.engine.EvidenceScale)
+		}
+		w := m.Weight()
+		totalScore += w * raw
+		totalConf += w * conf
+		totalWeight += w
+	}
+	if applicable == 0 || totalWeight == 0 {
+		return 0, 0
+	}
+	// Both the average score and the confidence are weighted by matcher
+	// weight, so the instance-based matchers dominate: a view that
+	// doubles the instance evidence should register in the score even
+	// though the schema-level matchers are invariant under views.
+	return totalScore / totalWeight, totalConf / totalWeight
+}
+
+// StandardMatches runs the standard matcher (§2.3): it scores every
+// (source attribute, target attribute) pair and returns those whose
+// combined confidence is at least tau, sorted by descending confidence
+// (ties broken deterministically).
+func (b *Bound) StandardMatches(tau float64) []Match {
+	var out []Match
+	for _, sa := range b.src.Attrs {
+		for _, ref := range b.targets {
+			score, conf := b.Score(b.src, sa.Name, ref.Table, ref.Attr)
+			if conf < tau {
+				continue
+			}
+			out = append(out, Match{
+				Source:     b.src,
+				SourceAttr: sa.Name,
+				Target:     b.tgt.Table(ref.Table),
+				TargetAttr: ref.Attr,
+				Cond:       relational.True{},
+				Score:      score,
+				Confidence: conf,
+			})
+		}
+	}
+	SortMatches(out)
+	return out
+}
+
+// Source returns the bound source table.
+func (b *Bound) Source() *relational.Table { return b.src }
+
+// TargetSchema returns the bound target schema.
+func (b *Bound) TargetSchema() *relational.Schema { return b.tgt }
+
+// Explanation is one matcher's contribution to a pair's combined
+// confidence, for diagnostics.
+type Explanation struct {
+	Matcher    string
+	Weight     float64
+	Raw        float64 // raw similarity score
+	Confidence float64 // normalized (and evidence-gated) confidence
+}
+
+// Explain returns the per-matcher breakdown for one attribute pair.
+// Inapplicable matchers are omitted.
+func (b *Bound) Explain(srcView *relational.Table, srcAttr, tgtTable, tgtAttr string) []Explanation {
+	tt := b.tgt.Table(tgtTable)
+	if tt == nil {
+		return nil
+	}
+	var out []Explanation
+	for mi, m := range b.engine.Matchers {
+		if !m.Applicable(srcView, srcAttr, tt, tgtAttr) {
+			continue
+		}
+		raw := m.Score(b.cache, srcView, srcAttr, tt, tgtAttr)
+		ns := b.norm[mi][srcAttr]
+		conf := stats.NormalCDF(raw, ns.mu, ns.sigma)
+		if b.engine.EvidenceScale > 0 {
+			conf *= 1 - math.Exp(-raw/b.engine.EvidenceScale)
+		}
+		out = append(out, Explanation{
+			Matcher:    m.Name(),
+			Weight:     m.Weight(),
+			Raw:        raw,
+			Confidence: conf,
+		})
+	}
+	return out
+}
+
+// SortMatches orders matches by descending confidence, breaking ties by
+// source attribute, target table and target attribute so output is
+// stable across runs.
+func SortMatches(ms []Match) {
+	sort.SliceStable(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.SourceAttr != b.SourceAttr {
+			return a.SourceAttr < b.SourceAttr
+		}
+		if a.Target.Name != b.Target.Name {
+			return a.Target.Name < b.Target.Name
+		}
+		return a.TargetAttr < b.TargetAttr
+	})
+}
+
+// Engine returns the engine the Bound was created from.
+func (b *Bound) Engine() *Engine { return b.engine }

@@ -1,0 +1,192 @@
+package match
+
+import (
+	"math"
+
+	"ctxmatch/internal/relational"
+	"ctxmatch/internal/tokenize"
+)
+
+// NameMatcher scores attribute-name similarity ("similarity of schema and
+// metadata information" in §1) using trigram Jaccard over the folded
+// names. It ignores instance data entirely, so its score is invariant
+// under view restriction.
+type NameMatcher struct {
+	W float64
+}
+
+// Name implements AttrMatcher.
+func (NameMatcher) Name() string { return "name" }
+
+// Weight implements AttrMatcher.
+func (m NameMatcher) Weight() float64 { return m.W }
+
+// Applicable implements AttrMatcher: names always exist.
+func (NameMatcher) Applicable(*relational.Table, string, *relational.Table, string) bool {
+	return true
+}
+
+// Score implements AttrMatcher.
+func (NameMatcher) Score(_ *FeatureCache, _ *relational.Table, srcAttr string, _ *relational.Table, tgtAttr string) float64 {
+	a := tokenize.NewVector(tokenize.Trigrams(srcAttr))
+	b := tokenize.NewVector(tokenize.Trigrams(tgtAttr))
+	return tokenize.Jaccard(a, b)
+}
+
+// ValueNGramMatcher is the instance-based matcher for string-domain
+// attributes: cosine similarity of the aggregate 3-gram frequency
+// vectors of the two columns. Non-string pairs score 0, leaving numbers
+// to NumericMatcher.
+type ValueNGramMatcher struct {
+	W float64
+	// MaxValues caps how many column values are folded into the vector;
+	// 0 means all. Sampling keeps StandardMatch subquadratic on large
+	// instances without changing the vector's direction much.
+	MaxValues int
+}
+
+// Name implements AttrMatcher.
+func (ValueNGramMatcher) Name() string { return "value-ngram" }
+
+// Weight implements AttrMatcher.
+func (m ValueNGramMatcher) Weight() float64 { return m.W }
+
+// Applicable implements AttrMatcher: both attributes must be string-like.
+func (ValueNGramMatcher) Applicable(src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) bool {
+	sa, okS := src.Attr(srcAttr)
+	ta, okT := tgt.Attr(tgtAttr)
+	return okS && okT &&
+		sa.Type.Domain() == relational.DomainString &&
+		ta.Type.Domain() == relational.DomainString
+}
+
+// Score implements AttrMatcher. The cosine is squared: mixed-population
+// columns (the ambiguous case contextual matching resolves) still share
+// many grams with each target, and squaring stretches the gap between
+// "half the column matches" and "all of the column matches".
+func (m ValueNGramMatcher) Score(cache *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64 {
+	sa, ok := src.Attr(srcAttr)
+	if !ok || sa.Type.Domain() != relational.DomainString {
+		return 0
+	}
+	ta, ok := tgt.Attr(tgtAttr)
+	if !ok || ta.Type.Domain() != relational.DomainString {
+		return 0
+	}
+	c := tokenize.Cosine(
+		cache.NGramVector(src, srcAttr, m.MaxValues),
+		cache.NGramVector(tgt, tgtAttr, m.MaxValues),
+	)
+	return c * c
+}
+
+// NumericMatcher compares the value distributions of two numeric-domain
+// columns by histogram overlap: both columns are binned over their
+// combined range and the score is Σ min(p_i, q_i) ∈ [0,1]. Identical
+// distributions score near 1; a mixture column scores roughly the
+// mixing fraction against each component — exactly the behaviour
+// contextual matching exploits, since restricting the source to the
+// right sub-population drives the overlap toward 1. Non-numeric pairs
+// score 0.
+type NumericMatcher struct {
+	W float64
+	// Bins is the histogram resolution; 0 uses a default of 16.
+	Bins int
+}
+
+// Name implements AttrMatcher.
+func (NumericMatcher) Name() string { return "numeric" }
+
+// Weight implements AttrMatcher.
+func (m NumericMatcher) Weight() float64 { return m.W }
+
+// Applicable implements AttrMatcher: both attributes must be numeric.
+func (NumericMatcher) Applicable(src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) bool {
+	sa, okS := src.Attr(srcAttr)
+	ta, okT := tgt.Attr(tgtAttr)
+	return okS && okT &&
+		sa.Type.Domain() == relational.DomainNumber &&
+		ta.Type.Domain() == relational.DomainNumber
+}
+
+// Score implements AttrMatcher.
+func (m NumericMatcher) Score(cache *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64 {
+	sa, ok := src.Attr(srcAttr)
+	if !ok || sa.Type.Domain() != relational.DomainNumber {
+		return 0
+	}
+	ta, ok := tgt.Attr(tgtAttr)
+	if !ok || ta.Type.Domain() != relational.DomainNumber {
+		return 0
+	}
+	xs := cache.Numeric(src, srcAttr)
+	ys := cache.Numeric(tgt, tgtAttr)
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0
+	}
+	bins := m.Bins
+	if bins <= 0 {
+		bins = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	for _, y := range ys {
+		lo, hi = math.Min(lo, y), math.Max(hi, y)
+	}
+	if hi == lo {
+		return 1 // both columns are the same constant
+	}
+	hist := func(vals []float64) []float64 {
+		h := make([]float64, bins)
+		for _, v := range vals {
+			i := int(float64(bins) * (v - lo) / (hi - lo))
+			if i >= bins {
+				i = bins - 1
+			}
+			h[i] += 1 / float64(len(vals))
+		}
+		return h
+	}
+	hx, hy := hist(xs), hist(ys)
+	var overlap float64
+	for i := 0; i < bins; i++ {
+		overlap += math.Min(hx[i], hy[i])
+	}
+	return overlap
+}
+
+// TypeMatcher scores declared-type compatibility: 1 for identical types,
+// 0.5 for distinct types in the same domain, 0 otherwise.
+type TypeMatcher struct {
+	W float64
+}
+
+// Name implements AttrMatcher.
+func (TypeMatcher) Name() string { return "type" }
+
+// Weight implements AttrMatcher.
+func (m TypeMatcher) Weight() float64 { return m.W }
+
+// Applicable implements AttrMatcher: declared types always exist.
+func (TypeMatcher) Applicable(*relational.Table, string, *relational.Table, string) bool {
+	return true
+}
+
+// Score implements AttrMatcher.
+func (TypeMatcher) Score(_ *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64 {
+	sa, okS := src.Attr(srcAttr)
+	ta, okT := tgt.Attr(tgtAttr)
+	if !okS || !okT {
+		return 0
+	}
+	switch {
+	case sa.Type == ta.Type:
+		return 1
+	case sa.Type.Domain() == ta.Type.Domain():
+		return 0.5
+	default:
+		return 0
+	}
+}

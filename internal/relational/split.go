@@ -1,0 +1,32 @@
+package relational
+
+import "math/rand"
+
+// Split partitions a table's rows into mutually exclusive training and
+// testing subsets (the inputs of ClusteredViewGen, Figure 6). trainFrac
+// is the fraction of rows that go to training; the split is a uniform
+// random permutation driven by rng so experiments can average over many
+// partitions (the paper averages 8–200 of them).
+func Split(t *Table, trainFrac float64, rng *rand.Rand) (train, test *Table) {
+	n := t.Len()
+	perm := rng.Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 && n > 1 {
+		cut = 1
+	}
+	if cut >= n && n > 1 {
+		cut = n - 1
+	}
+	return t.Restrict(perm[:cut]), t.Restrict(perm[cut:])
+}
+
+// Sample returns a table containing k rows drawn uniformly without
+// replacement (all rows if k >= Len). Used by the sample-size experiment
+// (Figure 18).
+func Sample(t *Table, k int, rng *rand.Rand) *Table {
+	n := t.Len()
+	if k >= n {
+		return t.Restrict(rng.Perm(n))
+	}
+	return t.Restrict(rng.Perm(n)[:k])
+}

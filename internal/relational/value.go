@@ -1,0 +1,313 @@
+// Package relational implements the relational data model of Section 2.1
+// of the paper: schemas, tables, attributes, typed values, instances
+// (sample data), selection conditions and select-only views.
+//
+// Everything in the matching and mapping layers is built on this package.
+// Instances are in-memory bags of tuples; views are never materialized in
+// a DBMS (the paper stresses this), they are evaluated lazily against the
+// sample.
+package relational
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type is the type of an attribute, drawn from the small set the paper
+// uses (string, int, real, bool). Text is distinguished from String for
+// classifier selection: Text values are tokenized, String values are
+// treated as short opaque labels; both share the string Domain.
+type Type int
+
+// The attribute types recognized by the system.
+const (
+	String Type = iota
+	Text
+	Int
+	Real
+	Bool
+)
+
+// String returns the lower-case name of the type as used in schema files.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Text:
+		return "text"
+	case Int:
+		return "int"
+	case Real:
+		return "real"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType converts a type name to a Type. It accepts the names produced
+// by Type.String plus common synonyms ("integer", "float", "double",
+// "boolean", "varchar").
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "string", "varchar", "char":
+		return String, nil
+	case "text":
+		return Text, nil
+	case "int", "integer":
+		return Int, nil
+	case "real", "float", "double":
+		return Real, nil
+	case "bool", "boolean":
+		return Bool, nil
+	default:
+		return String, fmt.Errorf("relational: unknown type %q", s)
+	}
+}
+
+// Domain is the broad value domain of a type: numeric types share a
+// domain, as do the two string-like types. TgtClassInfer maintains one
+// classifier per Domain (Figure 7 of the paper).
+type Domain int
+
+// The value domains.
+const (
+	DomainString Domain = iota
+	DomainNumber
+	DomainBool
+)
+
+// String returns the name of the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainString:
+		return "string"
+	case DomainNumber:
+		return "number"
+	case DomainBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Domain returns the value domain of t.
+func (t Type) Domain() Domain {
+	switch t {
+	case Int, Real:
+		return DomainNumber
+	case Bool:
+		return DomainBool
+	default:
+		return DomainString
+	}
+}
+
+// Compatible reports whether values of t live in domain d, used by
+// createTargetClassifier (Figure 7) to decide which attributes train
+// which per-domain classifier.
+func (t Type) Compatible(d Domain) bool { return t.Domain() == d }
+
+// Value is a single typed attribute value. The zero Value is NULL.
+// Values are small (two words plus a string header) and passed by value.
+type Value struct {
+	kind valueKind
+	num  float64 // Int, Real, Bool (0/1)
+	str  string  // String, Text
+}
+
+type valueKind uint8
+
+const (
+	kindNull valueKind = iota
+	kindString
+	kindNumber
+	kindBool
+)
+
+// Null is the NULL value.
+var Null = Value{}
+
+// S returns a string Value.
+func S(s string) Value { return Value{kind: kindString, str: s} }
+
+// I returns an integer Value.
+func I(i int) Value { return Value{kind: kindNumber, num: float64(i)} }
+
+// F returns a real Value.
+func F(f float64) Value { return Value{kind: kindNumber, num: f} }
+
+// B returns a boolean Value.
+func B(b bool) Value {
+	v := Value{kind: kindBool}
+	if b {
+		v.num = 1
+	}
+	return v
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == kindNull }
+
+// IsNumber reports whether v holds a numeric value.
+func (v Value) IsNumber() bool { return v.kind == kindNumber }
+
+// IsString reports whether v holds a string value.
+func (v Value) IsString() bool { return v.kind == kindString }
+
+// Float returns the numeric content of v. Booleans convert to 0/1;
+// strings parse if possible. ok is false when no numeric reading exists.
+func (v Value) Float() (f float64, ok bool) {
+	switch v.kind {
+	case kindNumber, kindBool:
+		return v.num, true
+	case kindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Str returns the string form of v. NULL renders as the empty string.
+func (v Value) Str() string {
+	switch v.kind {
+	case kindString:
+		return v.str
+	case kindNumber:
+		if v.num == math.Trunc(v.num) && math.Abs(v.num) < 1e15 {
+			return strconv.FormatInt(int64(v.num), 10)
+		}
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case kindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer; NULLs render as "NULL" for debugging.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	return v.Str()
+}
+
+// Equal reports whether two values are equal. Numbers compare
+// numerically, strings byte-wise; NULL equals only NULL.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		// Allow number/bool cross comparison (both numeric kinds).
+		if (v.kind == kindNumber || v.kind == kindBool) &&
+			(w.kind == kindNumber || w.kind == kindBool) {
+			return v.num == w.num
+		}
+		return false
+	}
+	switch v.kind {
+	case kindNull:
+		return true
+	case kindString:
+		return v.str == w.str
+	default:
+		return v.num == w.num
+	}
+}
+
+// Key returns a canonical string usable as a map key so that equal values
+// produce equal keys. It is injective per domain.
+func (v Value) Key() string {
+	switch v.kind {
+	case kindNull:
+		return "\x00null"
+	case kindString:
+		return "s:" + v.str
+	case kindBool:
+		return "b:" + v.Str()
+	default:
+		return "n:" + strconv.FormatFloat(v.num, 'g', -1, 64)
+	}
+}
+
+// Compare orders values: NULL < numbers/bools (numerically) < strings
+// (lexicographically). It is a total order used for deterministic output.
+func (v Value) Compare(w Value) int {
+	r := func(k valueKind) int {
+		switch k {
+		case kindNull:
+			return 0
+		case kindNumber, kindBool:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if a, b := r(v.kind), r(w.kind); a != b {
+		if a < b {
+			return -1
+		}
+		return 1
+	}
+	switch r(v.kind) {
+	case 0:
+		return 0
+	case 1:
+		switch {
+		case v.num < w.num:
+			return -1
+		case v.num > w.num:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(v.str, w.str)
+	}
+}
+
+// ParseValue converts raw text into a Value of type t. Empty text becomes
+// NULL. Numeric parse failures fall back to NULL with an error.
+func ParseValue(raw string, t Type) (Value, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return Null, nil
+	}
+	switch t {
+	case Int:
+		i, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(raw, 64)
+			if ferr != nil {
+				return Null, fmt.Errorf("relational: %q is not an int", raw)
+			}
+			return F(f), nil
+		}
+		return I(int(i)), nil
+	case Real:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Null, fmt.Errorf("relational: %q is not a real", raw)
+		}
+		return F(f), nil
+	case Bool:
+		b, err := strconv.ParseBool(strings.ToLower(raw))
+		if err != nil {
+			switch strings.ToUpper(raw) {
+			case "Y", "YES":
+				return B(true), nil
+			case "N", "NO":
+				return B(false), nil
+			}
+			return Null, fmt.Errorf("relational: %q is not a bool", raw)
+		}
+		return B(b), nil
+	default:
+		return S(raw), nil
+	}
+}

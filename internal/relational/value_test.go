@@ -1,0 +1,229 @@
+package relational
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v        Value
+		isNull   bool
+		isNum    bool
+		isString bool
+	}{
+		{Null, true, false, false},
+		{S("x"), false, false, true},
+		{S(""), false, false, true}, // empty string is not NULL
+		{I(3), false, true, false},
+		{F(3.5), false, true, false},
+		{B(true), false, false, false},
+	}
+	for i, c := range cases {
+		if c.v.IsNull() != c.isNull || c.v.IsNumber() != c.isNum || c.v.IsString() != c.isString {
+			t.Errorf("case %d (%v): kind flags wrong", i, c.v)
+		}
+	}
+}
+
+func TestValueFloat(t *testing.T) {
+	if f, ok := I(7).Float(); !ok || f != 7 {
+		t.Errorf("I(7).Float() = %v, %v", f, ok)
+	}
+	if f, ok := F(2.5).Float(); !ok || f != 2.5 {
+		t.Errorf("F(2.5).Float() = %v, %v", f, ok)
+	}
+	if f, ok := B(true).Float(); !ok || f != 1 {
+		t.Errorf("B(true).Float() = %v, %v", f, ok)
+	}
+	if f, ok := S("12.25").Float(); !ok || f != 12.25 {
+		t.Errorf("S(12.25).Float() = %v, %v", f, ok)
+	}
+	if _, ok := S("hello").Float(); ok {
+		t.Error("S(hello).Float() should fail")
+	}
+	if _, ok := Null.Float(); ok {
+		t.Error("Null.Float() should fail")
+	}
+}
+
+func TestValueStr(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{S("abc"), "abc"},
+		{I(42), "42"},
+		{F(2.5), "2.5"},
+		{F(3), "3"}, // integral float renders without decimal point
+		{B(true), "true"},
+		{B(false), "false"},
+		{Null, ""},
+	}
+	for _, c := range cases {
+		if got := c.v.Str(); got != c.want {
+			t.Errorf("%#v.Str() = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if Null.String() != "NULL" {
+		t.Errorf("Null.String() = %q", Null.String())
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !I(1).Equal(F(1)) {
+		t.Error("I(1) should equal F(1)")
+	}
+	if !B(true).Equal(I(1)) {
+		t.Error("B(true) should equal I(1) numerically")
+	}
+	if S("1").Equal(I(1)) {
+		t.Error("S(1) should not equal I(1): different domains")
+	}
+	if !Null.Equal(Null) {
+		t.Error("Null should equal Null")
+	}
+	if Null.Equal(S("")) {
+		t.Error("Null should not equal empty string")
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	distinct := []Value{Null, S(""), S("1"), I(1), F(1.5), B(true), B(false), S("true")}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		k := v.Key()
+		if prev, dup := seen[k]; dup && !prev.Equal(v) {
+			t.Errorf("Key collision: %v and %v both map to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	vals := []Value{Null, I(-2), F(1.5), I(3), S("a"), S("b")}
+	for i := range vals {
+		for j := range vals {
+			got := vals[i].Compare(vals[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", vals[i], vals[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", vals[i], vals[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", vals[i], vals[j], got)
+			}
+		}
+	}
+}
+
+func TestValueCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b float64, s1, s2 string, pick int) bool {
+		mk := func(i int) Value {
+			switch i % 4 {
+			case 0:
+				return F(a)
+			case 1:
+				return F(b)
+			case 2:
+				return S(s1)
+			default:
+				return S(s2)
+			}
+		}
+		v, w := mk(pick), mk(pick/4)
+		return v.Compare(w) == -w.Compare(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		raw     string
+		typ     Type
+		want    Value
+		wantErr bool
+	}{
+		{"42", Int, I(42), false},
+		{"4.5", Int, F(4.5), false}, // int column tolerates float literal
+		{"x", Int, Null, true},
+		{"2.5", Real, F(2.5), false},
+		{"x", Real, Null, true},
+		{"true", Bool, B(true), false},
+		{"Y", Bool, B(true), false},
+		{"N", Bool, B(false), false},
+		{"maybe", Bool, Null, true},
+		{"hello", String, S("hello"), false},
+		{"hello", Text, S("hello"), false},
+		{"", Int, Null, false}, // empty means NULL for every type
+		{"  ", String, Null, false},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.raw, c.typ)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseValue(%q,%v) error = %v, wantErr %v", c.raw, c.typ, err, c.wantErr)
+			continue
+		}
+		if err == nil && !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("ParseValue(%q,%v) = %v, want %v", c.raw, c.typ, got, c.want)
+		}
+	}
+}
+
+func TestParseValueRoundTripProperty(t *testing.T) {
+	f := func(i int) bool {
+		v, err := ParseValue(strconv.Itoa(i), Int)
+		return err == nil && v.Equal(I(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v, err := ParseValue(strconv.FormatFloat(x, 'g', -1, 64), Real)
+		return err == nil && v.Equal(F(x))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeParseAndString(t *testing.T) {
+	for _, typ := range []Type{String, Text, Int, Real, Bool} {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+	for raw, want := range map[string]Type{
+		"INTEGER": Int, "Float": Real, "double": Real, "boolean": Bool, "varchar": String,
+	} {
+		if got, err := ParseType(raw); err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", raw, got, err, want)
+		}
+	}
+}
+
+func TestTypeDomains(t *testing.T) {
+	if Int.Domain() != DomainNumber || Real.Domain() != DomainNumber {
+		t.Error("numeric types should share DomainNumber")
+	}
+	if String.Domain() != DomainString || Text.Domain() != DomainString {
+		t.Error("string types should share DomainString")
+	}
+	if Bool.Domain() != DomainBool {
+		t.Error("bool domain wrong")
+	}
+	if !Text.Compatible(DomainString) || Text.Compatible(DomainNumber) {
+		t.Error("Compatible() disagrees with Domain()")
+	}
+}

@@ -1,0 +1,130 @@
+// Package tokenize provides the text features used by the matching and
+// classification layers: case folding, q-grams (the paper's classifiers
+// tokenize values into 3-grams, §3.2.3), word tokens, and sparse
+// frequency vectors with cosine similarity.
+package tokenize
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Fold normalizes raw text for feature extraction: lower-cases it and
+// collapses runs of whitespace to single spaces.
+func Fold(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range strings.TrimSpace(s) {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space {
+			b.WriteByte(' ')
+			space = false
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}
+
+// QGrams returns the q-grams of the folded string. Strings shorter than q
+// yield the whole string as a single gram, so no non-empty value is
+// featureless. QGrams("abcd", 3) = ["abc", "bcd"].
+func QGrams(s string, q int) []string {
+	s = Fold(s)
+	if s == "" {
+		return nil
+	}
+	runes := []rune(s)
+	if len(runes) <= q {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+q]))
+	}
+	return grams
+}
+
+// Trigrams returns QGrams(s, 3), the paper's default.
+func Trigrams(s string) []string { return QGrams(s, 3) }
+
+// Words returns the folded string split into maximal runs of letters and
+// digits.
+func Words(s string) []string {
+	return strings.FieldsFunc(Fold(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Vector is a sparse token-frequency vector.
+type Vector map[string]float64
+
+// NewVector counts the given tokens into a fresh vector.
+func NewVector(tokens []string) Vector {
+	v := make(Vector, len(tokens))
+	for _, t := range tokens {
+		v[t]++
+	}
+	return v
+}
+
+// Add folds the tokens into v.
+func (v Vector) Add(tokens []string) {
+	for _, t := range tokens {
+		v[t]++
+	}
+}
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of two vectors in [0,1] (0 when
+// either vector is empty).
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, x := range a {
+		if y, ok := b[t]; ok {
+			dot += x * y
+		}
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// Jaccard returns the Jaccard similarity of the token sets of two
+// vectors.
+func Jaccard(a, b Vector) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,131 @@
+package tokenize
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFold(t *testing.T) {
+	cases := map[string]string{
+		"Hello World":   "hello world",
+		"  A\t\nB  ":    "a b",
+		"":              "",
+		"   ":           "",
+		"MiXeD CaSe":    "mixed case",
+		"tabs\t\ttabs":  "tabs tabs",
+		"ünïcode ROCKS": "ünïcode rocks",
+	}
+	for in, want := range cases {
+		if got := Fold(in); got != want {
+			t.Errorf("Fold(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	if got := QGrams("abcd", 3); !reflect.DeepEqual(got, []string{"abc", "bcd"}) {
+		t.Errorf("QGrams(abcd,3) = %v", got)
+	}
+	if got := QGrams("ab", 3); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Errorf("short string should yield itself: %v", got)
+	}
+	if got := QGrams("", 3); got != nil {
+		t.Errorf("empty string should yield nil: %v", got)
+	}
+	if got := QGrams("ABC", 3); !reflect.DeepEqual(got, []string{"abc"}) {
+		t.Errorf("QGrams should fold case: %v", got)
+	}
+	if got := Trigrams("abcd"); len(got) != 2 {
+		t.Errorf("Trigrams = %v", got)
+	}
+}
+
+func TestQGramsCountProperty(t *testing.T) {
+	f := func(s string, qRaw uint8) bool {
+		q := int(qRaw%5) + 1
+		grams := QGrams(s, q)
+		folded := []rune(Fold(s))
+		switch {
+		case len(folded) == 0:
+			return grams == nil
+		case len(folded) <= q:
+			return len(grams) == 1
+		default:
+			return len(grams) == len(folded)-q+1
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("The Quick, Brown-Fox! 42")
+	want := []string{"the", "quick", "brown", "fox", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+	if got := Words("..."); len(got) != 0 {
+		t.Errorf("punctuation-only yields no words: %v", got)
+	}
+}
+
+func TestVector(t *testing.T) {
+	v := NewVector([]string{"a", "b", "a"})
+	if v["a"] != 2 || v["b"] != 1 {
+		t.Errorf("vector = %v", v)
+	}
+	v.Add([]string{"b", "c"})
+	if v["b"] != 2 || v["c"] != 1 {
+		t.Errorf("after Add = %v", v)
+	}
+	if got, want := v.Norm(), math.Sqrt(4+4+1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Norm = %v, want %v", got, want)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := NewVector([]string{"x", "y"})
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self-cosine = %v, want 1", got)
+	}
+	b := NewVector([]string{"z"})
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := Cosine(a, Vector{}); got != 0 {
+		t.Errorf("empty cosine = %v, want 0", got)
+	}
+	// Cosine is symmetric even with the small-vector swap optimization.
+	c := NewVector([]string{"x", "x", "y", "w"})
+	if l, r := Cosine(a, c), Cosine(c, a); math.Abs(l-r) > 1e-12 {
+		t.Errorf("cosine asymmetric: %v vs %v", l, r)
+	}
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := NewVector(xs), NewVector(ys)
+		c := Cosine(a, b)
+		return c >= 0 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := NewVector([]string{"x", "y"})
+	b := NewVector([]string{"y", "z"})
+	if got := Jaccard(a, b); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self-Jaccard = %v", got)
+	}
+	if got := Jaccard(Vector{}, Vector{}); got != 0 {
+		t.Errorf("empty Jaccard = %v", got)
+	}
+}
