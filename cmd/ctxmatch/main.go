@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	"ctxmatch"
@@ -22,17 +25,19 @@ import (
 
 func main() {
 	var (
-		sourceList = flag.String("source", "", "comma-separated source CSV files")
-		targetList = flag.String("target", "", "comma-separated target CSV files")
-		tau        = flag.Float64("tau", 0.5, "confidence threshold τ for standard matches")
-		omega      = flag.Float64("omega", 5, "view improvement threshold ω")
-		inference  = flag.String("inference", "tgtclass", "view inference: naive, srcclass, tgtclass")
-		selection  = flag.String("selection", "qualtable", "match selection: qualtable, multitable")
-		late       = flag.Bool("late", false, "use LateDisjuncts instead of EarlyDisjuncts")
-		depth      = flag.Int("depth", 1, "conjunctive search depth (§3.5); 1 = simple conditions")
-		seed       = flag.Int64("seed", 1, "random seed for train/test partitioning")
-		standard   = flag.Bool("standard", false, "also print the standard (non-contextual) matches")
-		sql        = flag.Bool("sql", false, "print Clio-style mapping SQL for the selected matches")
+		sourceList  = flag.String("source", "", "comma-separated source CSV files")
+		targetList  = flag.String("target", "", "comma-separated target CSV files")
+		tau         = flag.Float64("tau", 0.5, "confidence threshold τ for standard matches")
+		omega       = flag.Float64("omega", 5, "view improvement threshold ω")
+		inference   = flag.String("inference", "tgtclass", "view inference: naive, srcclass, tgtclass")
+		selection   = flag.String("selection", "qualtable", "match selection: qualtable, multitable")
+		late        = flag.Bool("late", false, "use LateDisjuncts instead of EarlyDisjuncts")
+		depth       = flag.Int("depth", 1, "conjunctive search depth (§3.5); 1 = simple conditions")
+		seed        = flag.Int64("seed", 1, "random seed for train/test partitioning")
+		parallelism = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for per-table matching")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		standard    = flag.Bool("standard", false, "also print the standard (non-contextual) matches")
+		sql         = flag.Bool("sql", false, "print Clio-style mapping SQL for the selected matches")
 	)
 	flag.Parse()
 	if *sourceList == "" || *targetList == "" {
@@ -46,32 +51,48 @@ func main() {
 	tgt, err := loadSchema("target", *targetList)
 	exitOn(err)
 
-	opt := ctxmatch.DefaultOptions()
-	opt.Tau = *tau
-	opt.Omega = *omega
-	opt.EarlyDisjuncts = !*late
-	opt.MaxDepth = *depth
-	opt.Seed = *seed
+	opts := []ctxmatch.Option{
+		ctxmatch.WithTau(*tau),
+		ctxmatch.WithOmega(*omega),
+		ctxmatch.WithEarlyDisjuncts(!*late),
+		ctxmatch.WithMaxDepth(*depth),
+		ctxmatch.WithSeed(*seed),
+		ctxmatch.WithParallelism(*parallelism),
+	}
 	switch strings.ToLower(*inference) {
 	case "naive":
-		opt.Inference = ctxmatch.NaiveInfer
+		opts = append(opts, ctxmatch.WithInference(ctxmatch.NaiveInfer))
 	case "srcclass":
-		opt.Inference = ctxmatch.SrcClassInfer
+		opts = append(opts, ctxmatch.WithInference(ctxmatch.SrcClassInfer))
 	case "tgtclass":
-		opt.Inference = ctxmatch.TgtClassInfer
+		opts = append(opts, ctxmatch.WithInference(ctxmatch.TgtClassInfer))
 	default:
 		exitOn(fmt.Errorf("unknown inference %q", *inference))
 	}
 	switch strings.ToLower(*selection) {
 	case "qualtable":
-		opt.Selection = ctxmatch.QualTable
+		opts = append(opts, ctxmatch.WithSelection(ctxmatch.QualTable))
 	case "multitable":
-		opt.Selection = ctxmatch.MultiTable
+		opts = append(opts, ctxmatch.WithSelection(ctxmatch.MultiTable))
 	default:
 		exitOn(fmt.Errorf("unknown selection %q", *selection))
 	}
 
-	res := ctxmatch.Match(src, tgt, opt)
+	matcher, err := ctxmatch.New(opts...)
+	exitOn(err)
+
+	// Ctrl-C (or an expired -timeout) cancels the run instead of killing
+	// the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := matcher.Match(ctx, src, tgt)
+	exitOn(err)
 
 	if *standard {
 		fmt.Printf("standard matches (τ=%.2f):\n", *tau)
@@ -128,7 +149,12 @@ func loadSchema(name, list string) (*ctxmatch.Schema, error) {
 
 func exitOn(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ctxmatch:", err)
+		msg := err.Error()
+		// Library errors already carry the package prefix.
+		if !strings.HasPrefix(msg, "ctxmatch:") {
+			msg = "ctxmatch: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
 		os.Exit(1)
 	}
 }

@@ -12,11 +12,22 @@
 // books or CDs) and the other in separate tables, or when rows of one
 // table correspond to columns of another (attribute normalization).
 //
-// The top-level API mirrors the paper's pipeline:
+// The top-level API is a long-lived Matcher built with functional
+// options; its Match method runs the paper's pipeline under a context:
 //
-//	result := ctxmatch.Match(source, target, ctxmatch.DefaultOptions())
+//	matcher, err := ctxmatch.New(ctxmatch.WithTau(0.5))
+//	if err != nil { ... }
+//	result, err := matcher.Match(ctx, source, target)
+//	if err != nil { ... }
 //	for _, m := range result.ContextualMatches() { fmt.Println(m) }
 //	mappings := ctxmatch.BuildMappings(result.Matches, source)
+//
+// A Matcher is safe for concurrent use, honors cancellation, fans
+// per-table work out across a bounded worker pool (deterministically —
+// see WithParallelism), and reuses per-target-catalog computation
+// across calls. The free functions Match, MatchTarget and
+// DefaultOptions are the deprecated one-shot forms of the same
+// pipeline.
 //
 // Schemas and tables come from NewSchema / NewTable / ReadCSV; the
 // matching algorithms, constraint machinery and Clio-style mapping
@@ -25,7 +36,9 @@
 package ctxmatch
 
 import (
+	"context"
 	"io"
+	"slices"
 
 	"ctxmatch/internal/constraints"
 	"ctxmatch/internal/core"
@@ -149,23 +162,41 @@ const (
 
 // DefaultOptions returns the paper's default parameters (τ=0.5, ω=5,
 // TgtClassInfer, QualTable, EarlyDisjuncts).
+//
+// Deprecated: construct a Matcher with New, which starts from the same
+// defaults and validates amendments. DefaultOptions remains for the
+// free-function shims and for WithOptions migration.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Match runs contextual schema matching (Algorithm ContextMatch) between
-// a source and a target schema and returns the selected matches along
-// with the standard matches, the scored candidates and the inferred view
-// families.
+// Match is the one-shot form of Matcher.Match: no reuse across calls,
+// no cancellation, sequential per-table processing, and silent empty
+// results on empty schemas.
+//
+// Deprecated: use New and Matcher.Match, which add context
+// cancellation, structured errors, parallel per-table matching and
+// per-target-catalog reuse.
 func Match(source, target *Schema, opt Options) *Result {
-	return core.ContextMatch(source, target, opt)
+	res, err := core.ContextMatch(context.Background(), source, target, opt)
+	if err != nil {
+		// Preserve the historical contract: degraded inputs yield an
+		// empty result, never a panic or a nil dereference.
+		return &Result{}
+	}
+	return res
 }
 
-// MatchTarget runs contextual matching with the roles reversed, finding
-// conditions on the *target* tables (§3 notes the reversal is
-// straightforward; §3.2.4 applies it to TgtClassInfer). Returned matches
-// still read source → target; the view sits on the target side, so
-// collect them with Result.TargetContextualMatches.
+// MatchTarget is the one-shot form of Matcher.MatchTarget: contextual
+// matching with the roles reversed, finding conditions on the *target*
+// tables. Returned matches still read source → target; collect the
+// contextual ones with Result.TargetContextualMatches.
+//
+// Deprecated: use New and Matcher.MatchTarget.
 func MatchTarget(source, target *Schema, opt Options) *Result {
-	return core.ContextMatchTarget(source, target, opt)
+	res, err := core.ContextMatchTarget(context.Background(), source, target, opt)
+	if err != nil {
+		return &Result{}
+	}
+	return res
 }
 
 // StandardMatch runs only the standard (non-contextual) matcher of §2.3
@@ -244,7 +275,7 @@ func BuildMappings(matches []MatchEdge, source *Schema) []*Mapping {
 		}
 		base := v.Base
 		for _, k := range cons.KeysOf(v.Name) {
-			if containsAttr(k.Attrs, eq.Attr) {
+			if slices.Contains(k.Attrs, eq.Attr) {
 				continue
 			}
 			full := append(append([]string(nil), k.Attrs...), eq.Attr)
@@ -258,13 +289,4 @@ func BuildMappings(matches []MatchEdge, source *Schema) []*Mapping {
 		}
 	}
 	return mapping.Build(matches, cons)
-}
-
-func containsAttr(attrs []string, a string) bool {
-	for _, x := range attrs {
-		if x == a {
-			return true
-		}
-	}
-	return false
 }

@@ -1,6 +1,7 @@
 package ctxmatch_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -11,12 +12,16 @@ import (
 
 // TestEndToEndRetail drives the public API through the paper's headline
 // scenario: a combined inventory source against separate book/music
-// target tables.
+// target tables. The deprecated one-shot Match shim must agree with the
+// Matcher byte for byte.
 func TestEndToEndRetail(t *testing.T) {
 	ds := datagen.Inventory(datagen.InventoryConfig{
 		Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 5,
 	})
-	res := ctxmatch.Match(ds.Source, ds.Target, ctxmatch.DefaultOptions())
+	res, err := mustNew(t).Match(context.Background(), ds.Source, ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := res.ContextualMatches()
 	if len(ctx) == 0 {
 		t.Fatal("no contextual matches")
@@ -27,6 +32,11 @@ func TestEndToEndRetail(t *testing.T) {
 	if len(res.Families) == 0 {
 		t.Error("no view families reported")
 	}
+	legacy := ctxmatch.Match(ds.Source, ds.Target, ctxmatch.DefaultOptions())
+	if renderMatches(legacy) != renderMatches(res) {
+		t.Errorf("deprecated Match shim diverged from Matcher.Match:\n%s\nvs\n%s",
+			renderMatches(legacy), renderMatches(res))
+	}
 }
 
 // TestEndToEndGradesNormalization drives matching plus mapping: the
@@ -34,9 +44,12 @@ func TestEndToEndRetail(t *testing.T) {
 // views joined on the student name (Example 4.3).
 func TestEndToEndGradesNormalization(t *testing.T) {
 	ds := datagen.Grades(datagen.GradesConfig{Students: 120, Exams: 4, Sigma: 6, Seed: 6})
-	opt := ctxmatch.DefaultOptions()
-	opt.EarlyDisjuncts = false // every exam view must survive
-	res := ctxmatch.Match(ds.Source, ds.Target, opt)
+	// Every exam view must survive, hence LateDisjuncts.
+	res, err := mustNew(t, ctxmatch.WithEarlyDisjuncts(false)).
+		Match(context.Background(), ds.Source, ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	pr := ds.Evaluate(res.Matches)
 	if pr.Recall < 0.8 {

@@ -12,7 +12,9 @@ import (
 // 1.2: a price table with one row per (item, price code) must map onto
 // a target with separate regular-price and sale-price columns. A
 // standard matcher can at best find price → price; contextual matching
-// must discover
+// must discover the conditioned matches below. The test deliberately
+// stays on the deprecated free-function API so the shims keep
+// end-to-end coverage.
 //
 //	price.price → music.price [prcode = 'reg']
 //	price.price → music.sale  [prcode = 'sale']

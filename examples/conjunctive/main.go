@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 	"strings"
 
@@ -90,23 +92,31 @@ func main() {
 	target := ctxmatch.NewSchema("RT", nonfiction)
 
 	// Depth 1: only the 1-condition ItemType = 'book' can be found.
-	opt := ctxmatch.DefaultOptions()
-	opt.Inference = ctxmatch.SrcClassInfer
-	opt.Tau = 0.4 // the mixed code column matches tenuously (§3)
-	opt.MaxDepth = 1
-	res := ctxmatch.Match(source, target, opt)
-	fmt.Println("== depth 1 (simple conditions only) ==")
-	for _, m := range res.ContextualMatches() {
-		fmt.Printf("  %v\n", m)
+	// WithTau is lowered to 0.4: the mixed code column matches
+	// tenuously (§3).
+	base := []ctxmatch.Option{
+		ctxmatch.WithInference(ctxmatch.SrcClassInfer),
+		ctxmatch.WithTau(0.4),
 	}
+	run := func(header string, opts ...ctxmatch.Option) {
+		matcher, err := ctxmatch.New(append(append([]ctxmatch.Option{}, base...), opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := matcher.Match(context.Background(), source, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(header)
+		for _, m := range res.ContextualMatches() {
+			fmt.Printf("  %v\n", m)
+		}
+	}
+	run("== depth 1 (simple conditions only) ==",
+		ctxmatch.WithMaxDepth(1))
 
 	// Depth 2: the second stage refines the stage-one view with the
 	// fresh attribute Fiction, finding the 2-condition.
-	opt.MaxDepth = 2
-	opt.Omega = 2
-	res = ctxmatch.Match(source, target, opt)
-	fmt.Println("\n== depth 2 (conjunctive refinement, §3.5) ==")
-	for _, m := range res.ContextualMatches() {
-		fmt.Printf("  %v\n", m)
-	}
+	run("\n== depth 2 (conjunctive refinement, §3.5) ==",
+		ctxmatch.WithMaxDepth(2), ctxmatch.WithOmega(2))
 }

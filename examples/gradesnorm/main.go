@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
@@ -24,14 +26,21 @@ func main() {
 		ds.Target.Tables[0].Name, ds.Target.Tables[0].Len())
 
 	// LateDisjuncts: each exam view must survive individually so that
-	// the mapping can join all of them.
-	opt := ctxmatch.DefaultOptions()
-	opt.EarlyDisjuncts = false
-	// τ is lowered from its 0.5 default: the grades matches are tenuous
-	// on the mixed column (the §3 false-negative problem — exactly why
-	// the paper studies τ sensitivity in Figure 21).
-	opt.Tau = 0.4
-	res := ctxmatch.Match(ds.Source, ds.Target, opt)
+	// the mapping can join all of them. τ is lowered from its 0.5
+	// default: the grades matches are tenuous on the mixed column (the
+	// §3 false-negative problem — exactly why the paper studies τ
+	// sensitivity in Figure 21).
+	matcher, err := ctxmatch.New(
+		ctxmatch.WithEarlyDisjuncts(false),
+		ctxmatch.WithTau(0.4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := matcher.Match(context.Background(), ds.Source, ds.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("== contextual matches ==")
 	for _, m := range res.ContextualMatches() {

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 	"strings"
 
@@ -100,9 +102,18 @@ func main() {
 		fmt.Printf("  %v\n", m)
 	}
 
-	// Contextual matching discovers the type = 1 / type = 2 split.
+	// Contextual matching discovers the type = 1 / type = 2 split. The
+	// Matcher is reusable: a second call against the same target would
+	// skip the target-side training and column scans.
 	fmt.Println("\n== contextual matches (the Figure 3 situation) ==")
-	res := ctxmatch.Match(source, target, ctxmatch.DefaultOptions())
+	matcher, err := ctxmatch.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := matcher.Match(context.Background(), source, target)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, f := range res.Families {
 		fmt.Printf("  inferred view family: %v\n", f)
 	}

@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
@@ -25,13 +27,18 @@ func main() {
 	fmt.Printf("target schema: %v (%s layout)\n\n", ds.Target.TableNames(), cfg.Target)
 
 	for _, early := range []bool{true, false} {
-		opt := ctxmatch.DefaultOptions()
-		opt.EarlyDisjuncts = early
+		matcher, err := ctxmatch.New(ctxmatch.WithEarlyDisjuncts(early))
+		if err != nil {
+			log.Fatal(err)
+		}
 		policy := "LateDisjuncts"
 		if early {
 			policy = "EarlyDisjuncts"
 		}
-		res := ctxmatch.Match(ds.Source, ds.Target, opt)
+		res, err := matcher.Match(context.Background(), ds.Source, ds.Target)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("== %s (TgtClassInfer, QualTable) ==\n", policy)
 		for _, m := range res.ContextualMatches() {
 			fmt.Printf("  %v\n", m)

@@ -1,0 +1,3 @@
+module ctxmatch
+
+go 1.24

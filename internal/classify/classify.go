@@ -6,8 +6,9 @@
 package classify
 
 import (
+	"maps"
 	"math"
-	"sort"
+	"slices"
 
 	"ctxmatch/internal/relational"
 	"ctxmatch/internal/tokenize"
@@ -186,14 +187,7 @@ func (g *Gaussian) Classify(v relational.Value) (string, bool) {
 }
 
 // Labels implements Classifier.
-func (g *Gaussian) Labels() []string {
-	keys := make([]string, 0, len(g.sums))
-	for k := range g.sums {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+func (g *Gaussian) Labels() []string { return sortedKeys(g.sums) }
 
 func (g *Gaussian) majority() string {
 	best, bestN := "", -1.0
@@ -256,12 +250,7 @@ func (m *Majority) P() float64 {
 func (m *Majority) Labels() []string { return sortedKeys(m.counts) }
 
 func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return slices.Sorted(maps.Keys(m))
 }
 
 // Evaluate runs a trained classifier over labelled test pairs and returns

@@ -1,6 +1,8 @@
 package constraints
 
 import (
+	"slices"
+
 	"ctxmatch/internal/relational"
 )
 
@@ -132,7 +134,7 @@ func Propagate(base *Set, views []*relational.Table) *Set {
 		if attr, vals, ok := condDisjunct(v.Cond); ok {
 			if coversDomain(r, attr, vals) {
 				for _, k := range base.KeysOf(r.Name) {
-					if !contains(k.Attrs, attr) || !subset(k.Attrs, visible) {
+					if !slices.Contains(k.Attrs, attr) || !subset(k.Attrs, visible) {
 						continue
 					}
 					out.AddFK(ForeignKey{
@@ -175,13 +177,4 @@ func coversDomain(r *relational.Table, attr string, vals []relational.Value) boo
 		}
 	}
 	return true
-}
-
-func contains(list []string, s string) bool {
-	for _, e := range list {
-		if e == s {
-			return true
-		}
-	}
-	return false
 }

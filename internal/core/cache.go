@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// TargetCache memoizes the artifacts of a matching run that depend only
+// on the target schema — the trained per-domain target classifiers of
+// TgtClassInfer (Figure 7) and the precomputed column features of the
+// standard matcher — so a long-lived Matcher serving many sources
+// against one catalog pays for them once instead of once per source
+// table per call. Entries are keyed by schema identity (pointer): the
+// sample instance is assumed immutable while cached, which is the same
+// contract ContextMatch already places on its inputs mid-run.
+//
+// A TargetCache is safe for concurrent use by multiple goroutines.
+type TargetCache struct {
+	mu sync.Mutex
+	// engine the features were computed under; a different engine
+	// invalidates the feature layer (classifiers are engine-independent).
+	engine  *match.Engine
+	entries map[*relational.Schema]*targetEntry
+	// order tracks insertion order for bounded FIFO eviction, so a
+	// service that rebuilds its schema objects per request cannot grow
+	// the cache without limit.
+	order []*relational.Schema
+}
+
+// maxTargetEntries bounds how many distinct target schemas the cache
+// holds at once. The common service shape is a handful of long-lived
+// catalogs; when a caller churns through more (e.g. rebuilding schema
+// objects per request), the oldest entry is evicted rather than leaking
+// a catalog's worth of vectors and classifiers per call.
+const maxTargetEntries = 16
+
+type targetEntry struct {
+	once        sync.Once
+	classifiers *targetClassifiers
+	clsOnce     sync.Once
+	features    *match.TargetFeatures
+}
+
+// NewTargetCache returns an empty cache.
+func NewTargetCache() *TargetCache {
+	return &TargetCache{entries: map[*relational.Schema]*targetEntry{}}
+}
+
+// entry returns (creating if needed) the cache slot for tgt.
+func (c *TargetCache) entry(eng *match.Engine, tgt *relational.Schema) *targetEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.engine != eng {
+		// The feature layer is engine-specific (n-gram caps); start over
+		// rather than serve stale vectors.
+		c.engine = eng
+		c.entries = map[*relational.Schema]*targetEntry{}
+		c.order = nil
+	}
+	e := c.entries[tgt]
+	if e == nil {
+		if len(c.order) >= maxTargetEntries {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		e = &targetEntry{}
+		c.entries[tgt] = e
+		c.order = append(c.order, tgt)
+	}
+	return e
+}
+
+// featuresFor returns the shared target feature layer for tgt, computing
+// it at most once per (engine, schema). A nil receiver computes fresh
+// without caching, mirroring classifiersFor.
+func (c *TargetCache) featuresFor(eng *match.Engine, tgt *relational.Schema) *match.TargetFeatures {
+	if c == nil {
+		return eng.PrecomputeTarget(tgt)
+	}
+	e := c.entry(eng, tgt)
+	e.once.Do(func() { e.features = eng.PrecomputeTarget(tgt) })
+	return e.features
+}
+
+// classifiersFor returns the trained TgtClassInfer classifiers for tgt,
+// computing them at most once per schema. The returned value is
+// read-only after training and safe to share across goroutines.
+func (c *TargetCache) classifiersFor(eng *match.Engine, tgt *relational.Schema) *targetClassifiers {
+	if c == nil {
+		return newTargetClassifiers(tgt)
+	}
+	e := c.entry(eng, tgt)
+	e.clsOnce.Do(func() { e.classifiers = newTargetClassifiers(tgt) })
+	return e.classifiers
+}
+
+// Forget drops the cached artifacts for tgt, for callers that mutate a
+// catalog's sample instance in place. A nil receiver is a no-op.
+func (c *TargetCache) Forget(tgt *relational.Schema) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, tgt)
+	for i, s := range c.order {
+		if s == tgt {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// TestTargetCacheBounded: the cache must evict oldest entries beyond
+// maxTargetEntries instead of growing per distinct schema pointer.
+func TestTargetCacheBounded(t *testing.T) {
+	c := NewTargetCache()
+	eng := match.NewEngine()
+	var first *relational.Schema
+	for i := 0; i < maxTargetEntries+5; i++ {
+		s := relational.NewSchema(fmt.Sprintf("T%d", i),
+			relational.NewTable("t", relational.Attribute{Name: "a", Type: relational.String}))
+		if i == 0 {
+			first = s
+		}
+		if c.featuresFor(eng, s) == nil {
+			t.Fatalf("featuresFor returned nil for schema %d", i)
+		}
+	}
+	c.mu.Lock()
+	n, evicted := len(c.entries), c.entries[first] == nil
+	c.mu.Unlock()
+	if n > maxTargetEntries {
+		t.Errorf("cache holds %d entries, want ≤ %d", n, maxTargetEntries)
+	}
+	if !evicted {
+		t.Error("oldest entry not evicted")
+	}
+}
+
+// TestTargetCacheForget: Forget drops both the entry and its eviction
+// bookkeeping.
+func TestTargetCacheForget(t *testing.T) {
+	c := NewTargetCache()
+	eng := match.NewEngine()
+	s := relational.NewSchema("T",
+		relational.NewTable("t", relational.Attribute{Name: "a", Type: relational.String}))
+	c.featuresFor(eng, s)
+	c.Forget(s)
+	c.mu.Lock()
+	n, ord := len(c.entries), len(c.order)
+	c.mu.Unlock()
+	if n != 0 || ord != 0 {
+		t.Errorf("after Forget: %d entries, %d order slots, want 0/0", n, ord)
+	}
+	// A forgotten schema is recomputed, not resurrected.
+	if c.featuresFor(eng, s) == nil {
+		t.Error("featuresFor after Forget returned nil")
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ctxmatch/internal/match"
@@ -55,54 +57,173 @@ func (r *Result) ContextualMatches() []match.Match {
 	return out
 }
 
+// runState carries the per-call shared artifacts of one ContextMatch
+// run: the context, the resolved engine, and the target-schema artifacts
+// (feature layer, trained target classifiers) that every per-table
+// worker reads but none mutates.
+type runState struct {
+	ctx   context.Context
+	tgt   *relational.Schema
+	opt   Options
+	eng   *match.Engine
+	feats *match.TargetFeatures
+	tcls  *targetClassifiers
+}
+
+// newRunState resolves the shared artifacts, consulting opt.Cache (when
+// set) so a long-lived caller pays for target-side work once per catalog
+// rather than once per source table per call.
+func newRunState(ctx context.Context, tgt *relational.Schema, opt Options) *runState {
+	r := &runState{ctx: ctx, tgt: tgt, opt: opt, eng: opt.engine()}
+	r.feats = opt.Cache.featuresFor(r.eng, tgt)
+	if opt.Inference == TgtClassInfer {
+		r.tcls = opt.Cache.classifiersFor(r.eng, tgt)
+	}
+	return r
+}
+
+// tableResult is the output of lines 3-11 of Figure 5 for one source
+// table, kept per table so the parallel fan-out can merge them in schema
+// order regardless of goroutine interleaving.
+type tableResult struct {
+	protos   []match.Match
+	rl       []ScoredCandidate
+	families []ViewFamily
+	err      error
+}
+
 // ContextMatch implements Algorithm ContextMatch (Figure 5) over whole
 // schemas, plus the conjunctive iteration of §3.5 when opt.MaxDepth > 1.
-// Candidate generation and scoring (lines 3-11) run per source table;
-// match selection (line 12) runs globally so that QualTable can choose
-// the best source table per target table.
-func ContextMatch(src, tgt *relational.Schema, opt Options) *Result {
+// Candidate generation and scoring (lines 3-11) run per source table —
+// fanned out across opt.Parallelism workers when asked — and match
+// selection (line 12) runs globally so that QualTable can choose the
+// best source table per target table.
+//
+// The run honors ctx: cancellation or deadline expiry aborts between
+// scoring steps and surfaces as a *TableError wrapping ctx.Err() (or
+// ctx.Err() itself when it strikes outside per-table work). Results are
+// deterministic for any Parallelism: each table draws from its own RNG
+// seeded from opt.Seed and per-table outputs merge in schema order.
+func ContextMatch(ctx context.Context, src, tgt *relational.Schema, opt Options) (*Result, error) {
 	start := time.Now()
+	if err := validateSchemas(src, tgt); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Check before the target-side precompute (column scans, classifier
+	// training): an already-canceled context must not pay for the
+	// catalog.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run := newRunState(ctx, tgt, opt)
+
+	outs := make([]tableResult, len(src.Tables))
+	if workers := opt.workers(len(src.Tables)); workers <= 1 {
+		for i, rs := range src.Tables {
+			outs[i] = run.matchTable(rs)
+			if outs[i].err != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					outs[i] = run.matchTable(src.Tables[i])
+				}
+			}()
+		}
+	feed:
+		for i := range src.Tables {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Surface failures before touching any partial output: first table
+	// error in schema order wins, so the reported error is deterministic
+	// too.
+	for i := range outs {
+		if err := outs[i].err; err != nil {
+			return nil, &TableError{Table: src.Tables[i].Name, Err: err}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	var protos []match.Match
 	var rl []ScoredCandidate
-	for _, rs := range src.Tables {
-		p, r := matchTable(rs, tgt, opt, res)
-		protos = append(protos, p...)
-		rl = append(rl, r...)
+	for _, out := range outs {
+		protos = append(protos, out.protos...)
+		rl = append(rl, out.rl...)
+		for _, f := range out.families {
+			res.Families = appendFamily(res.Families, f)
+		}
 	}
 	res.Standard = protos
 	res.Candidates = rl
 	res.Matches = selectContextualMatches(protos, rl, opt) // line 12
 	if opt.MaxDepth > 1 {
-		conjunctiveStages(tgt, opt, res)
+		if err := conjunctiveStages(run, res); err != nil {
+			return nil, err
+		}
 	}
 	match.SortMatches(res.Matches)
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // matchTable runs lines 3-11 of Figure 5 for one source table: prototype
 // matches via StandardMatch, candidate conditions via
-// InferCandidateViews, and the scoring loop that fills RL.
-func matchTable(rs *relational.Table, tgt *relational.Schema, opt Options, res *Result) ([]match.Match, []ScoredCandidate) {
-	bound := opt.engine().Bind(rs, tgt)
-	protos := bound.StandardMatches(opt.Tau) // line 4
+// InferCandidateViews, and the scoring loop that fills RL. It is called
+// from the worker pool, so it only reads shared state and reports
+// through its return value.
+func (r *runState) matchTable(rs *relational.Table) tableResult {
+	if err := r.ctx.Err(); err != nil {
+		return tableResult{err: err}
+	}
+	bound := r.eng.BindWithFeatures(rs, r.tgt, r.feats)
+	protos := bound.StandardMatches(r.opt.Tau) // line 4
+	if err := r.ctx.Err(); err != nil {
+		return tableResult{err: err}
+	}
 
-	cands := InferCandidateViews(rs, tgt, len(protos) > 0, opt) // line 5
+	cands := inferCandidateViews(rs, r.tgt, len(protos) > 0, r.opt, r.tcls) // line 5
+	var fams []ViewFamily
 	for _, c := range cands {
 		if c.Family != nil {
-			res.Families = appendFamily(res.Families, *c.Family)
+			fams = appendFamily(fams, *c.Family)
 		}
 	}
-	return protos, scoreCandidates(rs, bound, protos, cands, opt) // lines 6-11
+	rl, err := r.scoreCandidates(rs, bound, protos, cands) // lines 6-11
+	return tableResult{protos: protos, rl: rl, families: fams, err: err}
 }
 
 // scoreCandidates evaluates every prototype match under every candidate
 // condition (lines 6-11 of Figure 5). A match is scored only as a
-// conditioned version of a StandardMatch output.
-func scoreCandidates(rs *relational.Table, bound *match.Bound, protos []match.Match, cands []Candidate, opt Options) []ScoredCandidate {
+// conditioned version of a StandardMatch output. Cancellation is checked
+// once per candidate view, the granularity at which work is O(|protos| ·
+// |sample|).
+func (r *runState) scoreCandidates(rs *relational.Table, bound *match.Bound, protos []match.Match, cands []Candidate) ([]ScoredCandidate, error) {
 	var rl []ScoredCandidate
 	for _, c := range cands {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		view := rs.Select(viewName(rs, c.Cond), c.Cond) // line 7
 		if view.Len() == 0 {
 			continue
@@ -117,7 +238,7 @@ func scoreCandidates(rs *relational.Table, bound *match.Bound, protos []match.Ma
 			rl = append(rl, ScoredCandidate{Match: m, Base: proto})
 		}
 	}
-	return rl
+	return rl, nil
 }
 
 // viewName builds a readable, SQL-identifier-safe name for an inferred
@@ -338,9 +459,9 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 // conjunctiveStages implements §3.5: repeatedly re-run inference treating
 // the views selected in the previous stage as base tables, restricting
 // partitioning to attributes not already mentioned in the view condition.
-func conjunctiveStages(tgt *relational.Schema, opt Options, res *Result) {
+func conjunctiveStages(r *runState, res *Result) error {
 	current := res.ContextualMatches()
-	for depth := 2; depth <= opt.MaxDepth; depth++ {
+	for depth := 2; depth <= r.opt.MaxDepth; depth++ {
 		// Collect the distinct views selected at the previous stage.
 		views := map[string]*relational.Table{}
 		protosByView := map[string][]match.Match{}
@@ -357,25 +478,32 @@ func conjunctiveStages(tgt *relational.Schema, opt Options, res *Result) {
 					used[a] = true
 				}
 			}
-			stage := stageMatches(view, used, tgt, protos, opt)
+			stage, err := r.stageMatches(view, used, protos)
+			if err != nil {
+				return &TableError{Table: view.Root().Name, Err: err}
+			}
 			next = append(next, stage...)
 		}
 		if len(next) == 0 {
-			return
+			return nil
 		}
 		res.Matches = append(res.Matches, next...)
 		current = next
 	}
+	return nil
 }
 
 // stageMatches scores refinements of one selected view: candidate
 // conditions over categorical attributes not already used, conjoined
 // with the view's own condition.
-func stageMatches(view *relational.Table, used map[string]bool, tgt *relational.Schema, protos []match.Match, opt Options) []match.Match {
+func (r *runState) stageMatches(view *relational.Table, used map[string]bool, protos []match.Match) ([]match.Match, error) {
 	base := view.Root()
-	bound := opt.engine().Bind(base, tgt)
+	bound := r.eng.BindWithFeatures(base, r.tgt, r.feats)
 	var rl []ScoredCandidate
-	for _, c := range InferCandidateViews(view, tgt, len(protos) > 0, opt) {
+	for _, c := range inferCandidateViews(view, r.tgt, len(protos) > 0, r.opt, r.tcls) {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		skip := false
 		for _, a := range c.Cond.Attrs() {
 			if used[a] {
@@ -401,7 +529,7 @@ func stageMatches(view *relational.Table, used map[string]bool, tgt *relational.
 			rl = append(rl, ScoredCandidate{Match: m, Base: proto})
 		}
 	}
-	return selectRefinements(protos, rl, opt)
+	return selectRefinements(protos, rl, r.opt), nil
 }
 
 // selectRefinements applies a QualTable-style acceptance rule to

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -78,6 +79,18 @@ func TestScoredCandidateImprovement(t *testing.T) {
 	}
 }
 
+// mustContextMatch runs ContextMatch under a background context and
+// fails the test on error; the fixtures here are never empty or
+// canceled.
+func mustContextMatch(t *testing.T, src, tgt *relational.Schema, opt Options) *Result {
+	t.Helper()
+	res, err := ContextMatch(context.Background(), src, tgt, opt)
+	if err != nil {
+		t.Fatalf("ContextMatch: %v", err)
+	}
+	return res
+}
+
 // contextMatchFixture runs ContextMatch on the standard fixture.
 func contextMatchFixture(t *testing.T, seed int64, n, gamma int, mut func(*Options)) (*relational.Table, *Result) {
 	t.Helper()
@@ -88,7 +101,7 @@ func contextMatchFixture(t *testing.T, seed int64, n, gamma int, mut func(*Optio
 	if mut != nil {
 		mut(&opt)
 	}
-	return src, ContextMatch(relational.NewSchema("RS", src), tgt, opt)
+	return src, mustContextMatch(t, relational.NewSchema("RS", src), tgt, opt)
 }
 
 // assertContextCorrect checks that every contextual match feeding the
@@ -250,7 +263,7 @@ func TestQualTablePrefersBestSourceTable(t *testing.T) {
 	src := relational.NewSchema("RS", inv, junk)
 	opt := DefaultOptions()
 	opt.Inference = SrcClassInfer
-	res := ContextMatch(src, tgt, opt)
+	res := mustContextMatch(t, src, tgt, opt)
 	for _, m := range res.Matches {
 		if m.Target.Name == "book" && m.Source.Root().Name == "junk" {
 			t.Errorf("QualTable picked the junk table for book: %v", m)
@@ -334,7 +347,7 @@ func TestConjunctiveConditionDiscovery(t *testing.T) {
 	opt.Inference = SrcClassInfer
 	opt.MaxDepth = 2
 	opt.Omega = 2
-	res := ContextMatch(relational.NewSchema("RS", src), tgt, opt)
+	res := mustContextMatch(t, relational.NewSchema("RS", src), tgt, opt)
 
 	found := false
 	for _, m := range res.Matches {

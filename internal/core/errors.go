@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ctxmatch/internal/relational"
+)
+
+// ErrEmptySchema is returned when a Match is asked to run over a nil
+// schema or a schema with no tables. Callers distinguish which side was
+// empty from the wrapping message; errors.Is(err, ErrEmptySchema) holds
+// either way.
+var ErrEmptySchema = errors.New("schema has no tables")
+
+// TableError wraps a failure confined to one source table of a matching
+// run, so callers of a multi-table Match can tell which table aborted
+// the run (typically by cancellation).
+type TableError struct {
+	// Table is the name of the source table whose processing failed.
+	Table string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *TableError) Error() string {
+	return fmt.Sprintf("matching table %s: %v", e.Table, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *TableError) Unwrap() error { return e.Err }
+
+// validateSchemas turns nil/empty inputs into structured errors instead
+// of the silent empty Result the free functions used to return.
+func validateSchemas(src, tgt *relational.Schema) error {
+	if src == nil || len(src.Tables) == 0 {
+		return fmt.Errorf("source %w", ErrEmptySchema)
+	}
+	if tgt == nil || len(tgt.Tables) == 0 {
+		return fmt.Errorf("target %w", ErrEmptySchema)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 
@@ -155,7 +156,7 @@ func evaluatePair(r, train, test *relational.Table, h, l string, cfg clusterConf
 		if i < 0 {
 			return out
 		}
-		merged := append(cloneGroup(groups[i]), groups[j]...)
+		merged := append(slices.Clone(groups[i]), groups[j]...)
 		var next []ValueGroup
 		for k, g := range groups {
 			if k != i && k != j {
@@ -293,14 +294,10 @@ func parseGroupLabel(s string) int {
 	return n
 }
 
-func cloneGroup(g ValueGroup) ValueGroup {
-	return append(ValueGroup(nil), g...)
-}
-
 func cloneGroups(gs []ValueGroup) []ValueGroup {
 	out := make([]ValueGroup, len(gs))
 	for i, g := range gs {
-		out[i] = cloneGroup(g)
+		out[i] = slices.Clone(g)
 	}
 	return out
 }

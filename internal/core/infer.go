@@ -20,6 +20,16 @@ type Candidate struct {
 // StandardMatch; per the paper no conditions are returned when it is
 // empty. The target schema is consulted only by TgtClassInfer.
 func InferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches bool, opt Options) []Candidate {
+	return inferCandidateViews(r, tgt, hasMatches, opt, nil)
+}
+
+// inferCandidateViews is InferCandidateViews with an optional pre-trained
+// target classifier set. ContextMatch trains tcls once per run (or takes
+// it from the target cache) and shares it across all per-table workers;
+// nil trains fresh, which the one-shot entry points rely on. Every call
+// derives its own RNG from opt.Seed, so concurrent per-table inference
+// stays deterministic regardless of goroutine interleaving.
+func inferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches bool, opt Options, tcls *targetClassifiers) []Candidate {
 	if !hasMatches {
 		return nil
 	}
@@ -35,12 +45,14 @@ func InferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches
 			factory:        srcClassifierFactory,
 		}, rng))
 	case TgtClassInfer:
-		tc := newTargetClassifiers(tgt)
+		if tcls == nil {
+			tcls = newTargetClassifiers(tgt)
+		}
 		return candidatesFromFamilies(clusteredViewGen(r, clusterConfig{
 			threshold:      opt.SignificanceT,
 			trainFrac:      opt.TrainFrac,
 			earlyDisjuncts: opt.EarlyDisjuncts,
-			factory:        tc.factory,
+			factory:        tcls.factory,
 		}, rng))
 	default:
 		return nil

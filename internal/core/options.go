@@ -107,6 +107,16 @@ type Options struct {
 	Seed int64
 	// Engine is the standard matching engine; nil uses match.NewEngine().
 	Engine *match.Engine
+	// Parallelism bounds the worker pool that fans the per-source-table
+	// candidate generation and scoring loop of Figure 5 out across
+	// goroutines. Values ≤ 1 run sequentially. Output is deterministic
+	// for any value: every table draws from its own RNG derived from
+	// Seed and results are merged in schema order.
+	Parallelism int
+	// Cache, when non-nil, memoizes per-target-schema artifacts (trained
+	// target classifiers, precomputed column features) across runs. A
+	// long-lived Matcher supplies one; one-shot calls leave it nil.
+	Cache *TargetCache
 }
 
 // DefaultOptions returns the paper's default parameters: τ=0.5, ω=5,
@@ -143,3 +153,15 @@ func (o *Options) engine() *match.Engine {
 }
 
 func (o *Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+// workers resolves Parallelism to an effective worker count for n tables.
+func (o *Options) workers(n int) int {
+	w := o.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}

@@ -52,7 +52,7 @@ func TestViewsNeverExceedBase(t *testing.T) {
 	src, tgt := invFixture(rng, 200, 4)
 	opt := DefaultOptions()
 	opt.Inference = SrcClassInfer
-	res := ContextMatch(relational.NewSchema("RS", src), tgt, opt)
+	res := mustContextMatch(t, relational.NewSchema("RS", src), tgt, opt)
 	for _, c := range res.Candidates {
 		view := c.Match.Source
 		if !view.IsView() {
@@ -79,7 +79,7 @@ func TestSelectedSubsetOfCandidatesOrProtos(t *testing.T) {
 		opt := DefaultOptions()
 		opt.Inference = SrcClassInfer
 		opt.Selection = sel
-		res := ContextMatch(relational.NewSchema("RS", src), tgt, opt)
+		res := mustContextMatch(t, relational.NewSchema("RS", src), tgt, opt)
 		known := map[string]bool{}
 		for _, p := range res.Standard {
 			known[p.String()] = true
@@ -107,7 +107,7 @@ func TestOmegaMonotonicity(t *testing.T) {
 		opt.Inference = SrcClassInfer
 		opt.EarlyDisjuncts = false
 		opt.Omega = omega
-		n := len(ContextMatch(schema, tgt, opt).ContextualMatches())
+		n := len(mustContextMatch(t, schema, tgt, opt).ContextualMatches())
 		if prev >= 0 && n > prev {
 			t.Errorf("ω=%v selected %d contextual matches, more than the %d at lower ω", omega, n, prev)
 		}
@@ -125,7 +125,7 @@ func TestTauMonotonicityOnStandard(t *testing.T) {
 		opt := DefaultOptions()
 		opt.Tau = tau
 		opt.Inference = NaiveInfer
-		n := len(ContextMatch(schema, tgt, opt).Standard)
+		n := len(mustContextMatch(t, schema, tgt, opt).Standard)
 		if prev >= 0 && n > prev {
 			t.Errorf("τ=%v produced %d protos, more than %d at lower τ", tau, n, prev)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ctxmatch/internal/match"
 	"ctxmatch/internal/relational"
 )
@@ -13,9 +15,19 @@ import (
 // runs ContextMatch with the schemas swapped and then un-swaps each
 // match, so a returned match reads source attribute → target attribute
 // with Cond holding on the *target* view (the match's Target field is
-// the conditioned target view).
-func ContextMatchTarget(src, tgt *relational.Schema, opt Options) *Result {
-	rev := ContextMatch(tgt, src, opt)
+// the conditioned target view). Context, error and parallelism semantics
+// are ContextMatch's, with the roles of the schemas reversed (a
+// TableError names a table of tgt).
+func ContextMatchTarget(ctx context.Context, src, tgt *relational.Schema, opt Options) (*Result, error) {
+	// Validate in the caller's orientation before swapping, so an
+	// ErrEmptySchema message blames the side the caller passed.
+	if err := validateSchemas(src, tgt); err != nil {
+		return nil, err
+	}
+	rev, err := ContextMatch(ctx, tgt, src, opt)
+	if err != nil {
+		return nil, err
+	}
 	out := &Result{
 		Families: rev.Families,
 		Elapsed:  rev.Elapsed,
@@ -28,7 +40,7 @@ func ContextMatchTarget(src, tgt *relational.Schema, opt Options) *Result {
 			Base:  unswap(c.Base),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // TargetContextualMatches filters a reversed result for matches whose

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,10 @@ func TestContextMatchTarget(t *testing.T) {
 
 	opt := DefaultOptions()
 	opt.Inference = SrcClassInfer
-	res := ContextMatchTarget(src, tgt, opt)
+	res, err := ContextMatchTarget(context.Background(), src, tgt, opt)
+	if err != nil {
+		t.Fatalf("ContextMatchTarget: %v", err)
+	}
 
 	ctx := res.TargetContextualMatches()
 	if len(ctx) == 0 {

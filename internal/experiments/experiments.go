@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -116,9 +117,14 @@ func IDs() []string {
 }
 
 // run executes ContextMatch on a dataset and returns the evaluation of
-// the selected matches plus the elapsed seconds.
+// the selected matches plus the elapsed seconds. Generated datasets are
+// never empty and the context is never canceled, so an error here is a
+// bug in the suite itself.
 func run(ds *datagen.Dataset, opt core.Options) (stats.PR, float64) {
-	res := core.ContextMatch(ds.Source, ds.Target, opt)
+	res, err := core.ContextMatch(context.Background(), ds.Source, ds.Target, opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ContextMatch failed: %v", err))
+	}
 	return ds.Evaluate(res.Matches), res.Elapsed.Seconds()
 }
 

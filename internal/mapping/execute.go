@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 
@@ -85,24 +86,16 @@ func joinStep(rows []joinedRow, j Join) []joinedRow {
 		}
 		if len(partners) == 0 {
 			// Outer join: keep the row with the right side missing.
-			next := cloneRow(row)
+			next := maps.Clone(row)
 			next[j.Right.Name] = nil
 			out = append(out, next)
 			continue
 		}
 		for _, p := range partners {
-			next := cloneRow(row)
+			next := maps.Clone(row)
 			next[j.Right.Name] = p
 			out = append(out, next)
 		}
-	}
-	return out
-}
-
-func cloneRow(r joinedRow) joinedRow {
-	out := make(joinedRow, len(r)+1)
-	for k, v := range r {
-		out[k] = v
 	}
 	return out
 }

@@ -1,0 +1,62 @@
+package match
+
+import (
+	"ctxmatch/internal/relational"
+	"ctxmatch/internal/tokenize"
+)
+
+// TargetFeatures holds the per-column derived features (3-gram vectors,
+// numeric slices) of one target schema, precomputed once so that repeated
+// Bind calls against the same long-lived target catalog skip the column
+// scans. The struct is immutable after PrecomputeTarget returns and is
+// therefore safe to share between concurrent Bounds.
+type TargetFeatures struct {
+	tgt       *relational.Schema
+	maxValues int
+	ngrams    map[colKey]tokenize.Vector
+	numbers   map[colKey][]float64
+}
+
+// PrecomputeTarget scans every column of tgt once and returns the shared
+// feature set for the engine's configured matchers. The n-gram value cap
+// is taken from the engine's ValueNGramMatcher so shared vectors are
+// identical to the ones a private FeatureCache would build.
+func (e *Engine) PrecomputeTarget(tgt *relational.Schema) *TargetFeatures {
+	tf := &TargetFeatures{
+		tgt:       tgt,
+		maxValues: e.ngramMaxValues(),
+		ngrams:    map[colKey]tokenize.Vector{},
+		numbers:   map[colKey][]float64{},
+	}
+	if tgt == nil {
+		return tf
+	}
+	warm := NewFeatureCache()
+	for _, tt := range tgt.Tables {
+		for _, a := range tt.Attrs {
+			key := colKey{tt, a.Name}
+			switch a.Type.Domain() {
+			case relational.DomainString:
+				tf.ngrams[key] = warm.NGramVector(tt, a.Name, tf.maxValues)
+			case relational.DomainNumber:
+				tf.numbers[key] = warm.Numeric(tt, a.Name)
+			}
+		}
+	}
+	return tf
+}
+
+// ngramMaxValues returns the value cap of the engine's ValueNGramMatcher
+// (0 when absent or uncapped); the cap is part of a cached vector's
+// identity, so shared features must be built with the same one.
+func (e *Engine) ngramMaxValues() int {
+	for _, m := range e.Matchers {
+		if ng, ok := m.(ValueNGramMatcher); ok {
+			return ng.MaxValues
+		}
+	}
+	return 0
+}
+
+// Target returns the schema the features were computed for.
+func (tf *TargetFeatures) Target() *relational.Schema { return tf.tgt }

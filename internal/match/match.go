@@ -80,10 +80,13 @@ type AttrMatcher interface {
 // FeatureCache memoizes per-column derived features (3-gram vectors,
 // numeric slices) keyed by table identity and attribute. A Bound owns
 // one for the lifetime of a matching run; it is not safe for concurrent
-// use.
+// use. An optional shared TargetFeatures layer — immutable, so safe to
+// read from many caches at once — answers target-column lookups without
+// rescanning the catalog.
 type FeatureCache struct {
 	ngrams  map[colKey]tokenize.Vector
 	numbers map[colKey][]float64
+	shared  *TargetFeatures
 }
 
 type colKey struct {
@@ -106,6 +109,11 @@ func NewFeatureCache() *FeatureCache {
 // single configuration per engine.
 func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues int) tokenize.Vector {
 	key := colKey{t, attr}
+	if c.shared != nil && maxValues == c.shared.maxValues {
+		if v, ok := c.shared.ngrams[key]; ok {
+			return v
+		}
+	}
 	if v, ok := c.ngrams[key]; ok {
 		return v
 	}
@@ -129,6 +137,11 @@ func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues i
 // (table, attribute).
 func (c *FeatureCache) Numeric(t *relational.Table, attr string) []float64 {
 	key := colKey{t, attr}
+	if c.shared != nil {
+		if v, ok := c.shared.numbers[key]; ok {
+			return v
+		}
+	}
 	if v, ok := c.numbers[key]; ok {
 		return v
 	}
@@ -144,6 +157,11 @@ func (c *FeatureCache) Numeric(t *relational.Table, attr string) []float64 {
 
 // Engine bundles a matcher set. The zero value is unusable; construct
 // with NewEngine (default matcher suite) or assemble Matchers directly.
+//
+// An Engine is safe for concurrent Bind calls once assembled: Bind only
+// reads the matcher set, matchers are stateless values, and every Bound
+// owns a private FeatureCache. Mutating Matchers or EvidenceScale while
+// Binds are in flight is the caller's race.
 type Engine struct {
 	Matchers []AttrMatcher
 	// EvidenceScale gates relative confidence by absolute evidence: a
@@ -196,7 +214,17 @@ type normStat struct{ mu, sigma float64 }
 // Bind precomputes normalization statistics for matching src against all
 // tables of tgt.
 func (e *Engine) Bind(src *relational.Table, tgt *relational.Schema) *Bound {
+	return e.BindWithFeatures(src, tgt, nil)
+}
+
+// BindWithFeatures is Bind with a precomputed target feature layer
+// (see PrecomputeTarget); tf may be nil or built for a different schema,
+// in which case its entries simply never hit. The normalization pass
+// still scans the source column features, which a long-lived Matcher
+// cannot reuse across different sources.
+func (e *Engine) BindWithFeatures(src *relational.Table, tgt *relational.Schema, tf *TargetFeatures) *Bound {
 	b := &Bound{engine: e, src: src, tgt: tgt, cache: NewFeatureCache()}
+	b.cache.shared = tf
 	for _, tt := range tgt.Tables {
 		for _, a := range tt.Attrs {
 			b.targets = append(b.targets, relational.AttrRef{Table: tt.Name, Attr: a.Name})
