@@ -1,0 +1,160 @@
+// Command benchjson measures the headline performance numbers of the
+// library — a cold Matcher.Match versus a prepared-target session match
+// on the inventory fixture — and writes them to BENCH_<date>.json, so
+// that committing one file per run accumulates a machine-readable
+// performance trajectory over the repository's history.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson            # full fixture, writes BENCH_YYYY-MM-DD.json
+//	go run ./cmd/benchjson -quick     # reduced fixture for CI smoke
+//	go run ./cmd/benchjson -out dir   # write into dir instead of .
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+)
+
+// report is the schema of one BENCH_<date>.json file.
+type report struct {
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	NumCPU      int     `json:"num_cpu"`
+	Fixture     fixture `json:"fixture"`
+	ColdNsOp    int64   `json:"cold_ns_op"`
+	PrepareNs   int64   `json:"prepare_ns"`
+	PreparedNs  int64   `json:"prepared_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	ColdAllocs  int64   `json:"cold_allocs_op"`
+	PrepAllocs  int64   `json:"prepared_allocs_op"`
+	BatchNsOp   int64   `json:"matchall_ns_per_source"`
+	BatchSizeN  int     `json:"matchall_sources"`
+	BatchPar    int     `json:"matchall_parallelism"`
+	ResultBytes int     `json:"result_wire_bytes"`
+}
+
+type fixture struct {
+	Rows       int `json:"rows"`
+	TargetRows int `json:"target_rows"`
+	Gamma      int `json:"gamma"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced fixture for smoke runs")
+	outDir := flag.String("out", ".", "directory to write BENCH_<date>.json into")
+	flag.Parse()
+
+	fx := fixture{Rows: 120, TargetRows: 1500, Gamma: 4}
+	if *quick {
+		fx = fixture{Rows: 80, TargetRows: 300, Gamma: 4}
+	}
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: fx.Rows, TargetRows: fx.TargetRows, Gamma: fx.Gamma,
+		Target: datagen.Ryan, Seed: 1,
+	})
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+			exitOn(err)
+			_, err = m.Match(context.Background(), ds.Source, ds.Target)
+			exitOn(err)
+		}
+	})
+
+	m, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+	exitOn(err)
+	prepStart := time.Now()
+	prepared, err := m.Prepare(context.Background(), ds.Target)
+	exitOn(err)
+	prepElapsed := time.Since(prepStart)
+
+	prep := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := prepared.Match(context.Background(), ds.Source)
+			exitOn(err)
+		}
+	})
+
+	// Batch throughput: the same source fanned as a MatchAll batch
+	// through a matcher with the machine's full worker budget, so the
+	// recorded number reflects (and would catch regressions in) the
+	// source-level fan-out, not just the single-match cost again.
+	const batch = 4
+	batchPar := runtime.NumCPU()
+	mBatch, err := ctxmatch.New(ctxmatch.WithParallelism(batchPar))
+	exitOn(err)
+	preparedBatch, err := mBatch.Prepare(context.Background(), ds.Target)
+	exitOn(err)
+	sources := make([]*ctxmatch.Schema, batch)
+	for i := range sources {
+		sources[i] = ds.Source
+	}
+	batchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := preparedBatch.MatchAll(context.Background(), sources)
+			exitOn(err)
+		}
+	})
+
+	res, err := prepared.Match(context.Background(), ds.Source)
+	exitOn(err)
+	wire, err := json.Marshal(res)
+	exitOn(err)
+
+	r := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Fixture:    fx,
+		ColdNsOp:   cold.NsPerOp(),
+		PrepareNs:  prepElapsed.Nanoseconds(),
+		PreparedNs: prep.NsPerOp(),
+		Speedup: float64(cold.NsPerOp()) /
+			float64(max64(prep.NsPerOp(), 1)),
+		ColdAllocs:  cold.AllocsPerOp(),
+		PrepAllocs:  prep.AllocsPerOp(),
+		BatchNsOp:   batchRes.NsPerOp() / batch,
+		BatchSizeN:  batch,
+		BatchPar:    batchPar,
+		ResultBytes: len(wire),
+	}
+
+	path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%s.json", r.Date))
+	out, err := json.MarshalIndent(r, "", "  ")
+	exitOn(err)
+	out = append(out, '\n')
+	exitOn(os.WriteFile(path, out, 0o644))
+	fmt.Printf("wrote %s\n%s", path, out)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,11 +39,18 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		standard    = flag.Bool("standard", false, "also print the standard (non-contextual) matches")
 		sql         = flag.Bool("sql", false, "print Clio-style mapping SQL for the selected matches")
+		asJSON      = flag.Bool("json", false, "emit the result in the versioned JSON wire format instead of text")
 	)
 	flag.Parse()
 	if *sourceList == "" || *targetList == "" {
 		fmt.Fprintln(os.Stderr, "usage: ctxmatch -source a.csv[,b.csv…] -target x.csv[,y.csv…]")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *asJSON && (*sql || *standard) {
+		// The JSON envelope always carries the standard matches; mapping
+		// SQL has no place in it. Refuse rather than silently drop flags.
+		fmt.Fprintln(os.Stderr, "ctxmatch: -json cannot be combined with -sql or -standard (the JSON result already includes the standard matches)")
 		os.Exit(2)
 	}
 
@@ -91,8 +99,20 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := matcher.Match(ctx, src, tgt)
+	// Prepare the target catalog explicitly: for a single run this is
+	// equivalent to matcher.Match, and it is the session shape a service
+	// wrapping this binary would use (Prepare once, match many).
+	prepared, err := matcher.Prepare(ctx, tgt)
 	exitOn(err)
+	res, err := prepared.Match(ctx, src)
+	exitOn(err)
+
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		exitOn(err)
+		fmt.Println(string(out))
+		return
+	}
 
 	if *standard {
 		fmt.Printf("standard matches (τ=%.2f):\n", *tau)
@@ -117,7 +137,9 @@ func main() {
 
 	if *sql {
 		fmt.Println("\nmapping SQL:")
-		for _, m := range ctxmatch.BuildMappings(res.Matches, src) {
+		maps, err := ctxmatch.BuildMappings(res.Matches, src, tgt)
+		exitOn(err)
+		for _, m := range maps {
 			for _, def := range m.ViewDefinitions() {
 				fmt.Printf("%s;\n", def)
 			}

@@ -13,21 +13,30 @@
 // table correspond to columns of another (attribute normalization).
 //
 // The top-level API is a long-lived Matcher built with functional
-// options; its Match method runs the paper's pipeline under a context:
+// options. For one-off runs its Match method runs the paper's pipeline
+// under a context; a service matching many source schemas against one
+// curated catalog prepares the catalog once and fans sources at the
+// resulting handle:
 //
 //	matcher, err := ctxmatch.New(ctxmatch.WithTau(0.5))
 //	if err != nil { ... }
-//	result, err := matcher.Match(ctx, source, target)
+//	target, err := matcher.Prepare(ctx, catalog) // trains & pins catalog artifacts
+//	if err != nil { ... }
+//	result, err := target.Match(ctx, source)     // zero target-side training
 //	if err != nil { ... }
 //	for _, m := range result.ContextualMatches() { fmt.Println(m) }
-//	mappings := ctxmatch.BuildMappings(result.Matches, source)
+//	mappings, err := ctxmatch.BuildMappings(result.Matches, source, catalog)
 //
-// A Matcher is safe for concurrent use, honors cancellation, fans
-// per-table work out across a bounded worker pool (deterministically —
-// see WithParallelism), and reuses per-target-catalog computation
-// across calls. The free functions Match, MatchTarget and
-// DefaultOptions are the deprecated one-shot forms of the same
-// pipeline.
+// Batches and streams of sources go through Target.MatchAll and
+// Target.MatchStream, which bound concurrency and isolate per-source
+// failures. A Matcher (and every Target) is safe for concurrent use,
+// honors cancellation, and fans per-table work out across a bounded
+// worker pool deterministically — see WithParallelism.
+//
+// A Result is pure data — tables are referenced by name and condition,
+// never by live pointer — and marshals to a versioned JSON wire format,
+// so matches can cross process boundaries and be rebound to schemas on
+// the other side.
 //
 // Schemas and tables come from NewSchema / NewTable / ReadCSV; the
 // matching algorithms, constraint machinery and Clio-style mapping
@@ -36,7 +45,6 @@
 package ctxmatch
 
 import (
-	"context"
 	"io"
 	"slices"
 
@@ -132,19 +140,13 @@ func ReadCSVFile(name, path string) (*Table, error) {
 	return relational.ReadCSVFile(name, path)
 }
 
-// Matching API.
+// Matching API. Result, MatchEdge, TableRef and Family — the
+// serializable output model — are defined in encode.go; the Matcher and
+// the prepared-target session handle live in matcher.go and target.go.
 type (
 	// Options are the tunables of contextual matching (τ, ω, disjunct
 	// policy, inference and selection algorithms…).
 	Options = core.Options
-	// Result is the output of Match.
-	Result = core.Result
-	// MatchEdge is one (source attr, target attr, condition) match with
-	// its score and confidence.
-	MatchEdge = match.Match
-	// ViewFamily is a partition of a table by a categorical attribute
-	// certified as well-clustered (§3.2.2 of the paper).
-	ViewFamily = core.ViewFamily
 	// Inference selects the candidate-view inference algorithm.
 	Inference = core.Inference
 	// Selection selects the match-selection policy.
@@ -160,51 +162,12 @@ const (
 	MultiTable    = core.MultiTable
 )
 
-// DefaultOptions returns the paper's default parameters (τ=0.5, ω=5,
-// TgtClassInfer, QualTable, EarlyDisjuncts).
-//
-// Deprecated: construct a Matcher with New, which starts from the same
-// defaults and validates amendments. DefaultOptions remains for the
-// free-function shims and for WithOptions migration.
-func DefaultOptions() Options { return core.DefaultOptions() }
-
-// Match is the one-shot form of Matcher.Match: no reuse across calls,
-// no cancellation, sequential per-table processing, and silent empty
-// results on empty schemas.
-//
-// Deprecated: use New and Matcher.Match, which add context
-// cancellation, structured errors, parallel per-table matching and
-// per-target-catalog reuse.
-func Match(source, target *Schema, opt Options) *Result {
-	res, err := core.ContextMatch(context.Background(), source, target, opt)
-	if err != nil {
-		// Preserve the historical contract: degraded inputs yield an
-		// empty result, never a panic or a nil dereference.
-		return &Result{}
-	}
-	return res
-}
-
-// MatchTarget is the one-shot form of Matcher.MatchTarget: contextual
-// matching with the roles reversed, finding conditions on the *target*
-// tables. Returned matches still read source → target; collect the
-// contextual ones with Result.TargetContextualMatches.
-//
-// Deprecated: use New and Matcher.MatchTarget.
-func MatchTarget(source, target *Schema, opt Options) *Result {
-	res, err := core.ContextMatchTarget(context.Background(), source, target, opt)
-	if err != nil {
-		return &Result{}
-	}
-	return res
-}
-
 // StandardMatch runs only the standard (non-contextual) matcher of §2.3
 // between one source table and a target schema, returning matches with
 // confidence at least tau.
 func StandardMatch(source *Table, target *Schema, tau float64) []MatchEdge {
 	eng := match.NewEngine()
-	return eng.Bind(source, target).StandardMatches(tau)
+	return newEdges(eng.Bind(source, target).StandardMatches(tau))
 }
 
 // Explain breaks a pair's similarity down per matcher on fresh
@@ -238,12 +201,20 @@ func PropagateConstraints(base *ConstraintSet, views []*Table) *ConstraintSet {
 }
 
 // BuildMappings assembles Clio-style mappings (§4.1 extended with the
-// paper's join rules 1-3) from the given matches. Constraints are mined
-// from the source schema and propagated to every view appearing in the
-// matches, so contextual matches produced by Match can be passed
-// directly; the result can generate SQL or execute over the sample
-// instances (attribute normalization included).
-func BuildMappings(matches []MatchEdge, source *Schema) []*Mapping {
+// paper's join rules 1-3) from the given matches. Edges reference
+// tables by name, so they first rebind to the given schemas — views are
+// re-materialized from each edge's (base, condition) pair, which is why
+// a Result decoded from JSON in another process works here as well as a
+// freshly computed one. Constraints are then mined from the source
+// schema and propagated to every view appearing in the matches; the
+// result can generate SQL or execute over the sample instances
+// (attribute normalization included). An edge referencing a table the
+// schemas do not contain is an error.
+func BuildMappings(edges []MatchEdge, source, target *Schema) ([]*Mapping, error) {
+	matches, err := resolveEdges(edges, source, target)
+	if err != nil {
+		return nil, err
+	}
 	mined := constraints.Mine(source, constraints.DefaultMineOptions())
 	var views []*Table
 	seen := map[string]bool{}
@@ -288,5 +259,5 @@ func BuildMappings(matches []MatchEdge, source *Schema) []*Mapping {
 			}
 		}
 	}
-	return mapping.Build(matches, cons)
+	return mapping.Build(matches, cons), nil
 }

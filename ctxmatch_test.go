@@ -12,8 +12,8 @@ import (
 
 // TestEndToEndRetail drives the public API through the paper's headline
 // scenario: a combined inventory source against separate book/music
-// target tables. The deprecated one-shot Match shim must agree with the
-// Matcher byte for byte.
+// target tables. The Prepare-then-match session path must agree with
+// the convenience Matcher.Match byte for byte.
 func TestEndToEndRetail(t *testing.T) {
 	ds := datagen.Inventory(datagen.InventoryConfig{
 		Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 5,
@@ -26,16 +26,23 @@ func TestEndToEndRetail(t *testing.T) {
 	if len(ctx) == 0 {
 		t.Fatal("no contextual matches")
 	}
-	if f := ds.FMeasure(res.Matches); f < 80 {
+	if f := ds.FMeasureEdges(res.Matches); f < 80 {
 		t.Errorf("FMeasure = %v, want ≥ 80 on clean data", f)
 	}
 	if len(res.Families) == 0 {
 		t.Error("no view families reported")
 	}
-	legacy := ctxmatch.Match(ds.Source, ds.Target, ctxmatch.DefaultOptions())
-	if renderMatches(legacy) != renderMatches(res) {
-		t.Errorf("deprecated Match shim diverged from Matcher.Match:\n%s\nvs\n%s",
-			renderMatches(legacy), renderMatches(res))
+	prepared, err := mustNew(t).Prepare(context.Background(), ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaHandle, err := prepared.Match(context.Background(), ds.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderMatches(viaHandle) != renderMatches(res) {
+		t.Errorf("prepared-target session diverged from Matcher.Match:\n%s\nvs\n%s",
+			renderMatches(viaHandle), renderMatches(res))
 	}
 }
 
@@ -51,12 +58,15 @@ func TestEndToEndGradesNormalization(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pr := ds.Evaluate(res.Matches)
+	pr := ds.EvaluateEdges(res.Matches)
 	if pr.Recall < 0.8 {
 		t.Fatalf("grades recall = %v, want ≥ 0.8", pr.Recall)
 	}
 
-	maps := ctxmatch.BuildMappings(res.ContextualMatches(), ds.Source)
+	maps, err := ctxmatch.BuildMappings(res.ContextualMatches(), ds.Source, ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(maps) != 1 {
 		t.Fatalf("want one mapping, got %d", len(maps))
 	}

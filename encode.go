@@ -1,0 +1,374 @@
+package ctxmatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"ctxmatch/internal/core"
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// ResultVersion is the version of the Result wire format written by
+// MarshalJSON. Decoders reject other versions instead of guessing.
+const ResultVersion = 1
+
+// TableRef names a table or a select-only view of a schema, replacing
+// the live *Table pointers of the internal pipeline so results can
+// cross process boundaries. For a view, Base names the base table the
+// view selects from and the owning MatchEdge's Cond is its selection
+// condition; for a base table, Base is empty.
+type TableRef struct {
+	Name string `json:"name"`
+	Base string `json:"base,omitempty"`
+}
+
+// IsView reports whether the reference denotes a view.
+func (r TableRef) IsView() bool { return r.Base != "" }
+
+// MatchEdge is the paper's match triple (RS.s, RT.t, c) in its public,
+// serializable form: tables are referenced by name, and Cond is the
+// selection condition of whichever side is a view (the constant TRUE
+// for a standard match). Together with the source schema, a contextual
+// edge fully determines its view: select * from Source.Base where Cond.
+type MatchEdge struct {
+	Source     TableRef
+	SourceAttr string
+	Target     TableRef
+	TargetAttr string
+	Cond       Condition
+
+	Score      float64 // average raw matcher score
+	Confidence float64 // combined confidence in [0,1]
+}
+
+// IsStandard reports whether the edge is a standard match: a TRUE
+// condition between two base tables.
+func (e MatchEdge) IsStandard() bool {
+	if e.Source.IsView() || e.Target.IsView() {
+		return false
+	}
+	if e.Cond == nil {
+		return true
+	}
+	_, isTrue := e.Cond.(relational.True)
+	return isTrue
+}
+
+// String renders the edge for display, e.g.
+// "inv.name → book.title [type = 1] (conf 0.93)". View sides print
+// their base table's name, matching the paper's (RS.s, RT.t, c) reading.
+func (e MatchEdge) String() string {
+	src, tgt := e.Source.Name, e.Target.Name
+	if e.Source.IsView() {
+		src = e.Source.Base
+	}
+	if e.Target.IsView() {
+		tgt = e.Target.Base
+	}
+	s := fmt.Sprintf("%s.%s → %s.%s", src, e.SourceAttr, tgt, e.TargetAttr)
+	if !e.IsStandard() && e.Cond != nil {
+		s += " [" + e.Cond.String() + "]"
+	}
+	return fmt.Sprintf("%s (conf %.3f)", s, e.Confidence)
+}
+
+// edgeJSON is the wire form of MatchEdge; Cond uses the tagged-union
+// condition encoding of MarshalCondition.
+type edgeJSON struct {
+	Source     TableRef        `json:"source"`
+	SourceAttr string          `json:"source_attr"`
+	Target     TableRef        `json:"target"`
+	TargetAttr string          `json:"target_attr"`
+	Cond       json.RawMessage `json:"cond,omitempty"`
+	Score      float64         `json:"score"`
+	Confidence float64         `json:"confidence"`
+}
+
+// MarshalJSON implements the MatchEdge wire format.
+func (e MatchEdge) MarshalJSON() ([]byte, error) {
+	w := edgeJSON{
+		Source:     e.Source,
+		SourceAttr: e.SourceAttr,
+		Target:     e.Target,
+		TargetAttr: e.TargetAttr,
+		Score:      e.Score,
+		Confidence: e.Confidence,
+	}
+	if e.Cond != nil {
+		b, err := relational.MarshalCondition(e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		w.Cond = b
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the MatchEdge wire format, including the
+// condition sum type.
+func (e *MatchEdge) UnmarshalJSON(data []byte) error {
+	var w edgeJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	var cond Condition
+	if len(w.Cond) > 0 {
+		var err error
+		cond, err = relational.UnmarshalCondition(w.Cond)
+		if err != nil {
+			return err
+		}
+	}
+	*e = MatchEdge{
+		Source:     w.Source,
+		SourceAttr: w.SourceAttr,
+		Target:     w.Target,
+		TargetAttr: w.TargetAttr,
+		Cond:       cond,
+		Score:      w.Score,
+		Confidence: w.Confidence,
+	}
+	return nil
+}
+
+// MarshalCondition encodes a condition tree in the wire format used
+// inside serialized results; see UnmarshalCondition for the inverse.
+func MarshalCondition(c Condition) ([]byte, error) {
+	return relational.MarshalCondition(c)
+}
+
+// UnmarshalCondition decodes a condition produced by MarshalCondition.
+func UnmarshalCondition(data []byte) (Condition, error) {
+	return relational.UnmarshalCondition(data)
+}
+
+// Family is the serializable form of a well-clustered view family
+// (§3.2.2): the partition of a table's categorical attribute that
+// generated candidate view conditions.
+type Family struct {
+	// Table is the source table the family partitions.
+	Table string `json:"table"`
+	// Attr is the categorical attribute l.
+	Attr string `json:"attr"`
+	// Groups holds one value set per view of the partition.
+	Groups [][]Value `json:"groups"`
+	// Evidence is the non-categorical attribute whose classifier
+	// certified the family.
+	Evidence string `json:"evidence"`
+	// Significance is the §3.2.2 significance of the certification.
+	Significance float64 `json:"significance"`
+}
+
+// String renders the family compactly, mirroring the internal form.
+func (f Family) String() string {
+	parts := make([]string, len(f.Groups))
+	for i, g := range f.Groups {
+		vs := make([]string, len(g))
+		for j, v := range g {
+			vs[j] = v.String()
+		}
+		parts[i] = "{" + strings.Join(vs, ",") + "}"
+	}
+	return fmt.Sprintf("family(%s.%s: %s by %s, sig %.3f)",
+		f.Table, f.Attr, strings.Join(parts, " "), f.Evidence, f.Significance)
+}
+
+// Result is the public output of a matching run: a pure-data,
+// JSON-serializable value with no live pointers into the input schemas.
+// Marshal it to ship matches across a process boundary; on the other
+// side the source schema plus each edge's (Base, Cond) pair is enough to
+// reconstruct every view (BuildMappings does exactly that).
+type Result struct {
+	// Matches are the selected contextual matches (M of Figure 5).
+	Matches []MatchEdge
+	// Standard is the accepted output of the standard matcher, kept so
+	// callers can compare what context added.
+	Standard []MatchEdge
+	// Families are the well-clustered view families that generated the
+	// candidate conditions (empty under NaiveInfer).
+	Families []Family
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+}
+
+// ContextualMatches returns only the matches that originate from source
+// views — the edges §5 evaluates.
+func (r *Result) ContextualMatches() []MatchEdge {
+	var out []MatchEdge
+	for _, e := range r.Matches {
+		if e.Source.IsView() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TargetContextualMatches filters a reversed (MatchTarget) result for
+// matches whose target side is a view — the target-contextual ones.
+func (r *Result) TargetContextualMatches() []MatchEdge {
+	var out []MatchEdge
+	for _, e := range r.Matches {
+		if e.Target.IsView() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// resultJSON is the versioned envelope of the Result wire format.
+type resultJSON struct {
+	Version   int         `json:"version"`
+	ElapsedNS int64       `json:"elapsed_ns"`
+	Matches   []MatchEdge `json:"matches"`
+	Standard  []MatchEdge `json:"standard,omitempty"`
+	Families  []Family    `json:"families,omitempty"`
+}
+
+// MarshalJSON writes the versioned Result envelope.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Version:   ResultVersion,
+		ElapsedNS: r.Elapsed.Nanoseconds(),
+		Matches:   r.Matches,
+		Standard:  r.Standard,
+		Families:  r.Families,
+	})
+}
+
+// UnmarshalJSON decodes the versioned Result envelope, rejecting
+// versions this build does not understand.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Version != ResultVersion {
+		return fmt.Errorf("ctxmatch: result wire version %d, this build reads %d", w.Version, ResultVersion)
+	}
+	*r = Result{
+		Matches:  w.Matches,
+		Standard: w.Standard,
+		Families: w.Families,
+		Elapsed:  time.Duration(w.ElapsedNS),
+	}
+	return nil
+}
+
+// tableRef converts a live table or view into its public reference.
+func tableRef(t *relational.Table) TableRef {
+	if t.IsView() {
+		return TableRef{Name: t.Name, Base: t.Root().Name}
+	}
+	return TableRef{Name: t.Name}
+}
+
+// newEdge converts one internal match into its public form.
+func newEdge(m match.Match) MatchEdge {
+	return MatchEdge{
+		Source:     tableRef(m.Source),
+		SourceAttr: m.SourceAttr,
+		Target:     tableRef(m.Target),
+		TargetAttr: m.TargetAttr,
+		Cond:       m.Cond,
+		Score:      m.Score,
+		Confidence: m.Confidence,
+	}
+}
+
+func newEdges(ms []match.Match) []MatchEdge {
+	if ms == nil {
+		return nil
+	}
+	out := make([]MatchEdge, len(ms))
+	for i, m := range ms {
+		out[i] = newEdge(m)
+	}
+	return out
+}
+
+// newResult converts the internal pipeline output into the public,
+// serializable result model.
+func newResult(cr *core.Result) *Result {
+	r := &Result{
+		Matches:  newEdges(cr.Matches),
+		Standard: newEdges(cr.Standard),
+		Elapsed:  cr.Elapsed,
+	}
+	for _, f := range cr.Families {
+		groups := make([][]Value, len(f.Groups))
+		for i, g := range f.Groups {
+			groups[i] = append([]Value(nil), g...)
+		}
+		r.Families = append(r.Families, Family{
+			Table:        f.Table.Name,
+			Attr:         f.Attr,
+			Groups:       groups,
+			Evidence:     f.Evidence,
+			Significance: f.Significance,
+		})
+	}
+	return r
+}
+
+// resolveEdges rebinds public edges to live tables of the given
+// schemas, materializing each referenced view once (views with the same
+// name share one instance, as they did inside the pipeline). It is the
+// inverse of the pointer-to-reference conversion a Result performs, and
+// what lets a deserialized result drive the mapping layer.
+func resolveEdges(edges []MatchEdge, source, target *Schema) ([]match.Match, error) {
+	// The memo key scopes a materialized view to its side and condition,
+	// not just its name: the source and target schemas may share table
+	// names, and a hand-edited result may reuse a view name under a
+	// different condition — neither may silently alias the other's rows.
+	views := map[string]*relational.Table{}
+	resolve := func(ref TableRef, s *Schema, side string, cond Condition) (*relational.Table, error) {
+		if !ref.IsView() {
+			if t := s.Table(ref.Name); t != nil {
+				return t, nil
+			}
+			return nil, fmt.Errorf("ctxmatch: %s schema %s has no table %q", side, s.Name, ref.Name)
+		}
+		condKey := ""
+		if cond != nil {
+			condKey = cond.String()
+		}
+		key := side + "\x00" + ref.Name + "\x00" + condKey
+		if v, ok := views[key]; ok {
+			return v, nil
+		}
+		base := s.Table(ref.Base)
+		if base == nil {
+			return nil, fmt.Errorf("ctxmatch: %s schema %s has no base table %q for view %q", side, s.Name, ref.Base, ref.Name)
+		}
+		v := base.Select(ref.Name, cond)
+		views[key] = v
+		return v, nil
+	}
+	out := make([]match.Match, len(edges))
+	for i, e := range edges {
+		if e.Source.IsView() && e.Target.IsView() {
+			return nil, fmt.Errorf("ctxmatch: edge %v has views on both sides; cannot attribute its condition", e)
+		}
+		src, err := resolve(e.Source, source, "source", e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := resolve(e.Target, target, "target", e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = match.Match{
+			Source:     src,
+			SourceAttr: e.SourceAttr,
+			Target:     tgt,
+			TargetAttr: e.TargetAttr,
+			Cond:       e.Cond,
+			Score:      e.Score,
+			Confidence: e.Confidence,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package ctxmatch_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ctxmatch"
+)
+
+// randValue draws a value from all three domains plus NULL, including
+// strings that stress quoting and floats that stress formatting.
+func randValue(rng *rand.Rand) ctxmatch.Value {
+	switch rng.Intn(7) {
+	case 0:
+		return ctxmatch.I(rng.Intn(2000) - 1000)
+	case 1:
+		return ctxmatch.F(rng.NormFloat64() * 1e3)
+	case 2:
+		return ctxmatch.F(rng.Float64() * 1e-9)
+	case 3:
+		return ctxmatch.B(rng.Intn(2) == 0)
+	case 4:
+		return ctxmatch.S(fmt.Sprintf("it's a \"test\" %d", rng.Intn(100)))
+	case 5:
+		return ctxmatch.S("naïve—schema☃" + strings.Repeat("x", rng.Intn(4)))
+	default:
+		return ctxmatch.Null
+	}
+}
+
+// randCondition builds a random condition tree covering Eq, In, And, Or
+// and True nesting up to the given depth.
+func randCondition(rng *rand.Rand, depth int) ctxmatch.Condition {
+	attr := fmt.Sprintf("attr%d", rng.Intn(5))
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return ctxmatch.True{}
+		case 1:
+			return ctxmatch.Eq{Attr: attr, Value: randValue(rng)}
+		default:
+			vals := make([]ctxmatch.Value, 1+rng.Intn(4))
+			for i := range vals {
+				vals[i] = randValue(rng)
+			}
+			return ctxmatch.NewIn(attr, vals...)
+		}
+	}
+	n := 2 + rng.Intn(3)
+	conds := make([]ctxmatch.Condition, n)
+	for i := range conds {
+		conds[i] = randCondition(rng, depth-1-rng.Intn(2))
+	}
+	if rng.Intn(2) == 0 {
+		return ctxmatch.And{Conds: conds}
+	}
+	return ctxmatch.Or{Conds: conds}
+}
+
+// TestConditionJSONRoundTrip is the wire-format property test: for
+// random condition trees over the full Eq/In/And/Or/True grammar,
+// decode(encode(c)) must re-encode byte-identically and stay
+// semantically equal to the original.
+func TestConditionJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		c := randCondition(rng, rng.Intn(4))
+		first, err := ctxmatch.MarshalCondition(c)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v (cond %v)", i, err, c)
+		}
+		decoded, err := ctxmatch.UnmarshalCondition(first)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v (wire %s)", i, err, first)
+		}
+		second, err := ctxmatch.MarshalCondition(decoded)
+		if err != nil {
+			t.Fatalf("case %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("case %d: re-encode not byte-identical:\n%s\nvs\n%s", i, first, second)
+		}
+		if !decoded.Equal(c) {
+			t.Fatalf("case %d: decoded condition %v != original %v", i, decoded, c)
+		}
+	}
+	// nil round-trips as nil.
+	b, err := ctxmatch.MarshalCondition(nil)
+	if err != nil || string(b) != "null" {
+		t.Fatalf("nil condition: %s, %v", b, err)
+	}
+	if c, err := ctxmatch.UnmarshalCondition(b); err != nil || c != nil {
+		t.Fatalf("decode null: %v, %v", c, err)
+	}
+	// Unknown ops fail loudly.
+	if _, err := ctxmatch.UnmarshalCondition([]byte(`{"op":"xor"}`)); err == nil {
+		t.Fatal("unknown op decoded silently")
+	}
+}
+
+// TestResultJSONRoundTrip runs the real pipeline and pushes its Result
+// through the wire format: decode(encode(r)) must re-encode
+// byte-identically, preserve every edge, and reject foreign versions.
+func TestResultJSONRoundTrip(t *testing.T) {
+	ds := inventoryDS(5)
+	res, err := mustNew(t).Match(context.Background(), ds.Source, ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ContextualMatches()) == 0 || len(res.Families) == 0 {
+		t.Fatal("fixture produced no contextual matches/families to serialize")
+	}
+
+	first, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ctxmatch.Result
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("Result re-encode not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+	if renderMatches(&decoded) != renderMatches(res) {
+		t.Error("decoded result renders differently")
+	}
+	if decoded.Elapsed != res.Elapsed {
+		t.Errorf("Elapsed %v != %v", decoded.Elapsed, res.Elapsed)
+	}
+	if len(decoded.Families) != len(res.Families) {
+		t.Errorf("families %d != %d", len(decoded.Families), len(res.Families))
+	}
+	// The wire format is versioned; a future version must not decode.
+	var probe map[string]any
+	if err := json.Unmarshal(first, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if int(probe["version"].(float64)) != ctxmatch.ResultVersion {
+		t.Errorf("wire version = %v", probe["version"])
+	}
+	probe["version"] = ctxmatch.ResultVersion + 1
+	foreign, _ := json.Marshal(probe)
+	if err := json.Unmarshal(foreign, &decoded); err == nil {
+		t.Error("foreign wire version decoded silently")
+	}
+
+	// A decoded result still drives the mapping layer: views rebind from
+	// (base, condition) references.
+	maps, err := ctxmatch.BuildMappings(decoded.ContextualMatches(), ds.Source, ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) == 0 {
+		t.Fatal("decoded result built no mappings")
+	}
+	for _, m := range maps {
+		if m.Execute() == nil {
+			t.Fatal("decoded mapping does not execute")
+		}
+	}
+}
+
+// TestBuildMappingsUnknownTable: an edge referencing a table absent
+// from the schemas is an error, not a silent drop.
+func TestBuildMappingsUnknownTable(t *testing.T) {
+	ds := inventoryDS(1)
+	edges := []ctxmatch.MatchEdge{{
+		Source:     ctxmatch.TableRef{Name: "ghost__x_1", Base: "ghost"},
+		SourceAttr: "a",
+		Target:     ctxmatch.TableRef{Name: "book"},
+		TargetAttr: "title",
+		Cond:       ctxmatch.Eq{Attr: "x", Value: ctxmatch.I(1)},
+	}}
+	if _, err := ctxmatch.BuildMappings(edges, ds.Source, ds.Target); err == nil {
+		t.Fatal("unknown base table built a mapping")
+	}
+}

@@ -1,6 +1,7 @@
 package ctxmatch_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -12,9 +13,7 @@ import (
 // 1.2: a price table with one row per (item, price code) must map onto
 // a target with separate regular-price and sale-price columns. A
 // standard matcher can at best find price → price; contextual matching
-// must discover the conditioned matches below. The test deliberately
-// stays on the deprecated free-function API so the shims keep
-// end-to-end coverage.
+// must discover the conditioned matches below.
 //
 //	price.price → music.price [prcode = 'reg']
 //	price.price → music.sale  [prcode = 'sale']
@@ -48,15 +47,18 @@ func TestExample12AttributeNormalization(t *testing.T) {
 		})
 	}
 
-	opt := ctxmatch.DefaultOptions()
-	opt.Inference = ctxmatch.SrcClassInfer
-	opt.EarlyDisjuncts = false // both code views must survive
-	opt.Tau = 0.4
-	res := ctxmatch.Match(
+	m := mustNew(t,
+		ctxmatch.WithInference(ctxmatch.SrcClassInfer),
+		ctxmatch.WithEarlyDisjuncts(false), // both code views must survive
+		ctxmatch.WithTau(0.4),
+	)
+	res, err := m.Match(context.Background(),
 		ctxmatch.NewSchema("RS", price),
 		ctxmatch.NewSchema("RT", music),
-		opt,
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	wantReg, wantSale := false, false
 	for _, m := range res.ContextualMatches() {
@@ -148,15 +150,18 @@ func TestMatchTargetFacade(t *testing.T) {
 		combined.Append(ctxmatch.Tuple{ctxmatch.S("reg"), ctxmatch.F(18 + rng.NormFloat64()*2)})
 		combined.Append(ctxmatch.Tuple{ctxmatch.S("sale"), ctxmatch.F((18 + rng.NormFloat64()*2) * 0.55)})
 	}
-	opt := ctxmatch.DefaultOptions()
-	opt.Inference = ctxmatch.SrcClassInfer
-	opt.EarlyDisjuncts = false
-	opt.Tau = 0.4
-	res := ctxmatch.MatchTarget(
+	m := mustNew(t,
+		ctxmatch.WithInference(ctxmatch.SrcClassInfer),
+		ctxmatch.WithEarlyDisjuncts(false),
+		ctxmatch.WithTau(0.4),
+	)
+	res, err := m.MatchTarget(context.Background(),
 		ctxmatch.NewSchema("RS", reg, sale),
 		ctxmatch.NewSchema("RT", combined),
-		opt,
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := res.TargetContextualMatches()
 	if len(ctx) == 0 {
 		t.Fatal("no target contextual matches")

@@ -1,0 +1,65 @@
+package ctxmatch_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"ctxmatch"
+)
+
+// ExampleMatcher_Prepare shows the prepared-target session shape: one
+// curated catalog prepared once, then a batch of incoming source
+// schemas matched against it with bounded concurrency, per-source error
+// isolation and JSON-ready results.
+func ExampleMatcher_Prepare() {
+	catalog := loadCatalogSchema()  // the long-lived target catalog
+	incoming := loadSourceSchemas() // source schemas arriving over time
+
+	matcher, err := ctxmatch.New(ctxmatch.WithParallelism(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepare trains the target classifiers and scans the catalog's
+	// columns exactly once, pinning them into an immutable handle.
+	target, err := matcher.Prepare(context.Background(), catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fan the batch across the worker pool. Results come back in input
+	// order; a bad schema yields a *SourceError without failing its
+	// siblings.
+	results, err := target.MatchAll(context.Background(), incoming)
+	if err != nil {
+		log.Printf("some sources failed: %v", err)
+	}
+	for i, res := range results {
+		if res == nil {
+			continue // this source's error is inside err
+		}
+		for _, m := range res.ContextualMatches() {
+			fmt.Printf("%s: %v\n", incoming[i].Name, m)
+		}
+		wire, _ := json.Marshal(res) // versioned, cross-process wire format
+		_ = wire
+	}
+}
+
+func loadCatalogSchema() *ctxmatch.Schema {
+	book := ctxmatch.NewTable("book",
+		ctxmatch.Attribute{Name: "title", Type: ctxmatch.Text},
+		ctxmatch.Attribute{Name: "price", Type: ctxmatch.Real},
+	)
+	return ctxmatch.NewSchema("RT", book)
+}
+
+func loadSourceSchemas() []*ctxmatch.Schema {
+	inv := ctxmatch.NewTable("inv",
+		ctxmatch.Attribute{Name: "name", Type: ctxmatch.Text},
+		ctxmatch.Attribute{Name: "price", Type: ctxmatch.Real},
+	)
+	return []*ctxmatch.Schema{ctxmatch.NewSchema("RS", inv)}
+}

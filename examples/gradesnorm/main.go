@@ -46,12 +46,16 @@ func main() {
 	for _, m := range res.ContextualMatches() {
 		fmt.Printf("  %v\n", m)
 	}
-	pr := ds.Evaluate(res.Matches)
+	pr := ds.EvaluateEdges(res.Matches)
 	fmt.Printf("  accuracy %.0f%%\n\n", 100*pr.Recall)
 
 	// Build and execute the Clio-style mapping (join rule 1 groups the
-	// exam views on the propagated key "name").
-	maps := ctxmatch.BuildMappings(res.ContextualMatches(), ds.Source)
+	// exam views on the propagated key "name"). The edges reference
+	// tables by name, so BuildMappings rebinds them to the schemas.
+	maps, err := ctxmatch.BuildMappings(res.ContextualMatches(), ds.Source, ds.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, m := range maps {
 		fmt.Printf("== mapping for %s ==\n", m.Target.Name)
 		for _, lt := range m.Logical {

@@ -102,15 +102,20 @@ func main() {
 		fmt.Printf("  %v\n", m)
 	}
 
-	// Contextual matching discovers the type = 1 / type = 2 split. The
-	// Matcher is reusable: a second call against the same target would
-	// skip the target-side training and column scans.
+	// Contextual matching discovers the type = 1 / type = 2 split.
+	// Prepare pins the target-side work (classifier training, column
+	// scans) into a reusable handle: every further source schema matched
+	// through `prepared` skips it entirely.
 	fmt.Println("\n== contextual matches (the Figure 3 situation) ==")
 	matcher, err := ctxmatch.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := matcher.Match(context.Background(), source, target)
+	prepared, err := matcher.Prepare(context.Background(), target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prepared.Match(context.Background(), source)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,9 +43,9 @@ func main() {
 		for _, m := range res.ContextualMatches() {
 			fmt.Printf("  %v\n", m)
 		}
-		pr := ds.Evaluate(res.Matches)
+		pr := ds.EvaluateEdges(res.Matches)
 		fmt.Printf("  accuracy %.0f%%  precision %.0f%%  FMeasure %.1f  (%s)\n\n",
-			100*pr.Recall, 100*pr.Precision, ds.FMeasure(res.Matches),
+			100*pr.Recall, 100*pr.Precision, ds.FMeasureEdges(res.Matches),
 			res.Elapsed.Round(1e6))
 	}
 

@@ -1,0 +1,98 @@
+// Serving: the enterprise session shape — one curated target catalog,
+// many incoming source schemas. The catalog is prepared once
+// (Matcher.Prepare trains and pins every target-side artifact); a batch
+// of sources then fans across the worker pool with MatchAll, a
+// continuous stream with MatchStream, and one result crosses a process
+// boundary as versioned JSON. A deliberately empty schema rides along
+// in the batch to show per-source error isolation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+)
+
+func main() {
+	// The long-lived catalog plus three arriving source schemas: two
+	// real ones (different samples of the same domain) and one broken.
+	catalog := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+	})
+	var sources []*ctxmatch.Schema
+	for seed := int64(1); seed <= 2; seed++ {
+		ds := datagen.Inventory(datagen.InventoryConfig{
+			Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: seed,
+		})
+		ds.Source.Name = fmt.Sprintf("tenant%d", seed)
+		sources = append(sources, ds.Source)
+	}
+	sources = append(sources, ctxmatch.NewSchema("broken")) // no tables
+
+	matcher, err := ctxmatch.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepare once: all classifier training and catalog column scans
+	// happen here, not per request.
+	prepared, err := matcher.Prepare(context.Background(), catalog.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Batch: results come back in input order; the broken schema fails
+	// alone, its siblings are untouched.
+	results, err := prepared.MatchAll(context.Background(), sources)
+	fmt.Println("== MatchAll over the batch ==")
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		fmt.Printf("  %s: %d matches (%d contextual)\n",
+			sources[i].Name, len(res.Matches), len(res.ContextualMatches()))
+	}
+	var srcErr *ctxmatch.SourceError
+	if errors.As(err, &srcErr) {
+		fmt.Printf("  isolated failure: %v\n", srcErr)
+	}
+
+	// Stream: same catalog, sources arriving on a channel; outcomes are
+	// delivered in arrival order as they complete.
+	in := make(chan *ctxmatch.Schema)
+	go func() {
+		defer close(in)
+		for _, s := range sources[:2] {
+			in <- s
+		}
+	}()
+	fmt.Println("\n== MatchStream over the same catalog ==")
+	for outcome := range prepared.MatchStream(context.Background(), in) {
+		if outcome.Err != nil {
+			fmt.Printf("  #%d failed: %v\n", outcome.Index, outcome.Err)
+			continue
+		}
+		fmt.Printf("  #%d %s: %d matches\n",
+			outcome.Index, outcome.Source.Name, len(outcome.Result.Matches))
+	}
+
+	// Wire format: a Result is pure data and round-trips through JSON,
+	// so it can be answered to a client in another process.
+	wire, err := json.Marshal(results[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var decoded ctxmatch.Result
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== wire format ==\n  %d bytes of JSON; first contextual edge after decode:\n", len(wire))
+	if ctx := decoded.ContextualMatches(); len(ctx) > 0 {
+		fmt.Printf("  %v\n", ctx[0])
+	}
+}

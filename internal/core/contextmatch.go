@@ -58,9 +58,9 @@ func (r *Result) ContextualMatches() []match.Match {
 }
 
 // runState carries the per-call shared artifacts of one ContextMatch
-// run: the context, the resolved engine, and the target-schema artifacts
-// (feature layer, trained target classifiers) that every per-table
-// worker reads but none mutates.
+// run: the context plus the prepared target-schema artifacts (resolved
+// engine, feature layer, trained target classifiers) that every
+// per-table worker reads but none mutates.
 type runState struct {
 	ctx   context.Context
 	tgt   *relational.Schema
@@ -70,16 +70,11 @@ type runState struct {
 	tcls  *targetClassifiers
 }
 
-// newRunState resolves the shared artifacts, consulting opt.Cache (when
-// set) so a long-lived caller pays for target-side work once per catalog
-// rather than once per source table per call.
-func newRunState(ctx context.Context, tgt *relational.Schema, opt Options) *runState {
-	r := &runState{ctx: ctx, tgt: tgt, opt: opt, eng: opt.engine()}
-	r.feats = opt.Cache.featuresFor(r.eng, tgt)
-	if opt.Inference == TgtClassInfer {
-		r.tcls = opt.Cache.classifiersFor(r.eng, tgt)
-	}
-	return r
+// newRunState binds a context to the pinned artifacts of a prepared
+// target; all resolution and training already happened in
+// PrepareTarget.
+func newRunState(ctx context.Context, pt *PreparedTarget) *runState {
+	return &runState{ctx: ctx, tgt: pt.tgt, opt: pt.opt, eng: pt.eng, feats: pt.feats, tcls: pt.tcls}
 }
 
 // tableResult is the output of lines 3-11 of Figure 5 for one source
@@ -112,13 +107,26 @@ func ContextMatch(ctx context.Context, src, tgt *relational.Schema, opt Options)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Check before the target-side precompute (column scans, classifier
-	// training): an already-canceled context must not pay for the
-	// catalog.
-	if err := ctx.Err(); err != nil {
+	// PrepareTarget checks ctx before the target-side precompute (column
+	// scans, classifier training): an already-canceled context must not
+	// pay for the catalog.
+	pt, err := PrepareTarget(ctx, tgt, opt)
+	if err != nil {
 		return nil, err
 	}
-	run := newRunState(ctx, tgt, opt)
+	// start predates PrepareTarget so a cold run's Elapsed includes the
+	// target-side work, as it always has; a prepared run's Elapsed
+	// (ContextMatchPrepared) covers only the run itself.
+	return contextMatchPrepared(ctx, src, pt, start)
+}
+
+// contextMatchPrepared is the shared run path behind ContextMatch and
+// ContextMatchPrepared: lines 3-12 of Figure 5 over an already-prepared
+// target. Inputs are pre-validated, ctx is non-nil, and start is when
+// the caller began the work Elapsed should account for.
+func contextMatchPrepared(ctx context.Context, src *relational.Schema, pt *PreparedTarget, start time.Time) (*Result, error) {
+	opt := pt.opt
+	run := newRunState(ctx, pt)
 
 	outs := make([]tableResult, len(src.Tables))
 	if workers := opt.workers(len(src.Tables)); workers <= 1 {

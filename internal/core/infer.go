@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"ctxmatch/internal/classify"
 	"ctxmatch/internal/relational"
@@ -153,9 +154,20 @@ type targetClassifiers struct {
 	byDomain map[relational.Domain]classify.Classifier
 }
 
+// targetClassifierTrainings counts newTargetClassifiers invocations
+// process-wide, so tests can assert that prepared-target matching
+// performs zero classifier training.
+var targetClassifierTrainings atomic.Int64
+
+// TargetClassifierTrainings returns how many times target classifiers
+// have been trained in this process. Deltas of this counter verify the
+// PreparedTarget contract: after PrepareTarget, matching must not train.
+func TargetClassifierTrainings() int64 { return targetClassifierTrainings.Load() }
+
 // newTargetClassifiers runs createTargetClassifier(D, RT) for every
 // domain with at least one compatible target attribute.
 func newTargetClassifiers(tgt *relational.Schema) *targetClassifiers {
+	targetClassifierTrainings.Add(1)
 	tc := &targetClassifiers{byDomain: map[relational.Domain]classify.Classifier{}}
 	if tgt == nil {
 		return tc

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ctxmatch/internal/match"
+	"ctxmatch/internal/relational"
+)
+
+// PreparedTarget pins every target-catalog artifact a matching run needs
+// — the resolved engine, the precomputed column features and (under
+// TgtClassInfer) the trained per-domain target classifiers — into one
+// immutable handle, so that matching many source schemas against one
+// long-lived catalog performs the target-side work exactly once, up
+// front, instead of lazily inside the first ContextMatch call.
+//
+// A PreparedTarget is safe for concurrent use: everything it holds is
+// read-only after PrepareTarget returns. It snapshots the target's
+// sample instance by reference; mutating the schema's tables in place
+// afterwards silently desynchronizes the pinned artifacts — re-prepare
+// after any in-place mutation.
+type PreparedTarget struct {
+	tgt   *relational.Schema
+	opt   Options
+	eng   *match.Engine
+	feats *match.TargetFeatures
+	tcls  *targetClassifiers
+}
+
+// PrepareTarget eagerly resolves the target-side artifacts for tgt under
+// opt. When opt.Cache is set the artifacts are taken from (and stored
+// into) the cache, so PrepareTarget after a previous run against the
+// same catalog is free; a nil cache computes fresh. An empty or nil
+// target returns ErrEmptySchema; an already-canceled context returns
+// before any work is spent on the catalog.
+func PrepareTarget(ctx context.Context, tgt *relational.Schema, opt Options) (*PreparedTarget, error) {
+	if tgt == nil || len(tgt.Tables) == 0 {
+		return nil, fmt.Errorf("target %w", ErrEmptySchema)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	pt := &PreparedTarget{tgt: tgt, opt: opt, eng: opt.engine()}
+	pt.feats = opt.Cache.featuresFor(pt.eng, tgt)
+	if opt.Inference == TgtClassInfer {
+		pt.tcls = opt.Cache.classifiersFor(pt.eng, tgt)
+	}
+	return pt, nil
+}
+
+// Target returns the schema the handle was prepared for.
+func (pt *PreparedTarget) Target() *relational.Schema { return pt.tgt }
+
+// Options returns the options the handle was prepared under.
+func (pt *PreparedTarget) Options() Options { return pt.opt }
+
+// WithParallelism returns a copy of the handle whose runs use n workers
+// for per-source-table fan-out, sharing the same pinned artifacts.
+// Batch drivers use it to split a fixed worker budget between
+// source-level and table-level concurrency.
+func (pt *PreparedTarget) WithParallelism(n int) *PreparedTarget {
+	if n < 1 {
+		n = 1
+	}
+	c := *pt
+	c.opt.Parallelism = n
+	return &c
+}
+
+// ContextMatchPrepared runs Algorithm ContextMatch (Figure 5) for one
+// source schema against a prepared target. It performs zero target-side
+// training or column scanning: all catalog artifacts come pinned in pt.
+// Context, error, determinism and parallelism semantics are exactly
+// ContextMatch's.
+func ContextMatchPrepared(ctx context.Context, src *relational.Schema, pt *PreparedTarget) (*Result, error) {
+	if err := validateSchemas(src, pt.tgt); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return contextMatchPrepared(ctx, src, pt, time.Now())
+}

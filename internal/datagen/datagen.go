@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"ctxmatch"
 	"ctxmatch/internal/match"
 	"ctxmatch/internal/relational"
 	"ctxmatch/internal/stats"
@@ -140,6 +141,63 @@ func (d *Dataset) Evaluate(selected []match.Match) stats.PR {
 func (d *Dataset) FMeasure(selected []match.Match) float64 {
 	pr := d.Evaluate(selected)
 	return stats.FMeasure100(pr.Precision, pr.Recall)
+}
+
+// EvaluateEdges scores the public, reference-based match edges of a
+// ctxmatch.Result against the gold standard. Each view edge is rebound
+// to this dataset's source schema by re-materializing the view from its
+// (base, condition) pair, then judged exactly as Evaluate judges the
+// internal form.
+func (d *Dataset) EvaluateEdges(edges []ctxmatch.MatchEdge) stats.PR {
+	return d.Evaluate(d.matchesFromEdges(edges))
+}
+
+// FMeasureEdges evaluates public edges and returns the §5 FMeasure in
+// [0,100].
+func (d *Dataset) FMeasureEdges(edges []ctxmatch.MatchEdge) float64 {
+	pr := d.EvaluateEdges(edges)
+	return stats.FMeasure100(pr.Precision, pr.Recall)
+}
+
+// matchesFromEdges rebinds public edges to this dataset's schemas. The
+// evaluation needs live source views (CondSide walks the base sample);
+// target tables are only compared by name, so unknown ones become
+// empty stand-ins rather than errors.
+func (d *Dataset) matchesFromEdges(edges []ctxmatch.MatchEdge) []match.Match {
+	views := map[string]*relational.Table{}
+	out := make([]match.Match, 0, len(edges))
+	for _, e := range edges {
+		var src *relational.Table
+		switch {
+		case !e.Source.IsView():
+			if src = d.Source.Table(e.Source.Name); src == nil {
+				src = relational.NewTable(e.Source.Name)
+			}
+		case views[e.Source.Name] != nil:
+			src = views[e.Source.Name]
+		default:
+			base := d.Source.Table(e.Source.Base)
+			if base == nil {
+				continue // not a view of this dataset; nothing to judge
+			}
+			src = base.Select(e.Source.Name, e.Cond)
+			views[e.Source.Name] = src
+		}
+		tgt := d.Target.Table(e.Target.Name)
+		if tgt == nil {
+			tgt = relational.NewTable(e.Target.Name)
+		}
+		out = append(out, match.Match{
+			Source:     src,
+			SourceAttr: e.SourceAttr,
+			Target:     tgt,
+			TargetAttr: e.TargetAttr,
+			Cond:       e.Cond,
+			Score:      e.Score,
+			Confidence: e.Confidence,
+		})
+	}
+	return out
 }
 
 func goldKey(srcAttr, tgtTable, tgtAttr, side string) string {

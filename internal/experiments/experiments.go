@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"ctxmatch"
 	"ctxmatch/internal/core"
 	"ctxmatch/internal/datagen"
 	"ctxmatch/internal/stats"
@@ -116,16 +117,22 @@ func IDs() []string {
 	return out
 }
 
-// run executes ContextMatch on a dataset and returns the evaluation of
-// the selected matches plus the elapsed seconds. Generated datasets are
-// never empty and the context is never canceled, so an error here is a
-// bug in the suite itself.
+// run executes one matching run through the public Matcher API and
+// returns the evaluation of the selected matches plus the elapsed
+// seconds. Parallelism is pinned to 1 so the timing figures chart the
+// algorithm, not the machine. Generated datasets are never empty and
+// the context is never canceled, so an error here is a bug in the
+// suite itself.
 func run(ds *datagen.Dataset, opt core.Options) (stats.PR, float64) {
-	res, err := core.ContextMatch(context.Background(), ds.Source, ds.Target, opt)
+	m, err := ctxmatch.New(ctxmatch.WithOptions(opt), ctxmatch.WithParallelism(1))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: invalid options: %v", err))
+	}
+	res, err := m.Match(context.Background(), ds.Source, ds.Target)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: ContextMatch failed: %v", err))
 	}
-	return ds.Evaluate(res.Matches), res.Elapsed.Seconds()
+	return ds.EvaluateEdges(res.Matches), res.Elapsed.Seconds()
 }
 
 // averageF repeats a single-point experiment and averages FMeasure.

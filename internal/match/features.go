@@ -1,9 +1,20 @@
 package match
 
 import (
+	"sync/atomic"
+
 	"ctxmatch/internal/relational"
 	"ctxmatch/internal/tokenize"
 )
+
+// targetPrecomputes counts PrecomputeTarget invocations process-wide,
+// so tests can assert that prepared-target matching rescans no catalog
+// columns.
+var targetPrecomputes atomic.Int64
+
+// TargetPrecomputes returns how many times a target feature layer has
+// been computed in this process.
+func TargetPrecomputes() int64 { return targetPrecomputes.Load() }
 
 // TargetFeatures holds the per-column derived features (3-gram vectors,
 // numeric slices) of one target schema, precomputed once so that repeated
@@ -22,6 +33,7 @@ type TargetFeatures struct {
 // is taken from the engine's ValueNGramMatcher so shared vectors are
 // identical to the ones a private FeatureCache would build.
 func (e *Engine) PrecomputeTarget(tgt *relational.Schema) *TargetFeatures {
+	targetPrecomputes.Add(1)
 	tf := &TargetFeatures{
 		tgt:       tgt,
 		maxValues: e.ngramMaxValues(),

@@ -23,11 +23,12 @@ type TableError = core.TableError
 
 // Matcher is a long-lived, reusable contextual schema matcher: the
 // paper's ContextMatch pipeline (Figure 5) packaged for service use.
-// Construct one with New, then call Match for every source schema that
-// arrives. A Matcher is safe for concurrent use by multiple goroutines,
-// and it memoizes the artifacts that depend only on the target schema —
-// trained target classifiers, precomputed column features — so repeated
-// calls against the same long-lived target catalog skip that work.
+// Construct one with New; then either Prepare a target catalog once and
+// fan source schemas at the returned handle (Target.Match,
+// Target.MatchAll, Target.MatchStream), or call Match directly — the
+// convenience composition of Prepare and Target.Match, backed by the
+// same per-catalog cache. A Matcher is safe for concurrent use by
+// multiple goroutines.
 type Matcher struct {
 	opt   core.Options
 	cache *core.TargetCache
@@ -60,8 +61,13 @@ func New(opts ...Option) (*Matcher, error) {
 
 // Match runs contextual schema matching (Algorithm ContextMatch,
 // Figure 5) between a source and a target schema and returns the
-// selected matches along with the standard matches, the scored
-// candidates and the inferred view families.
+// selected matches along with the standard matches and the inferred
+// view families. It is the convenience composition of Prepare and
+// Target.Match: the target-side artifacts come from (and are stored
+// into) the matcher's per-catalog cache, so repeated calls against the
+// same long-lived catalog skip the training — but a service matching
+// many sources against one catalog should Prepare once and hold the
+// handle.
 //
 // The run honors ctx cancellation and deadlines: an aborted run returns
 // an error chaining to ctx.Err() — wrapped in a *TableError naming the
@@ -73,7 +79,11 @@ func New(opts ...Option) (*Matcher, error) {
 // because each table draws from its own RNG derived from the seed and
 // outputs merge in schema order.
 func (m *Matcher) Match(ctx context.Context, source, target *Schema) (*Result, error) {
-	return core.ContextMatch(ctx, source, target, m.runOptions())
+	t, err := m.Prepare(ctx, target)
+	if err != nil {
+		return nil, err
+	}
+	return t.Match(ctx, source)
 }
 
 // MatchTarget runs contextual matching with the roles reversed, finding
@@ -85,7 +95,11 @@ func (m *Matcher) Match(ctx context.Context, source, target *Schema) (*Result, e
 // artifacts here key on source, and a TableError names a table of
 // target.
 func (m *Matcher) MatchTarget(ctx context.Context, source, target *Schema) (*Result, error) {
-	return core.ContextMatchTarget(ctx, source, target, m.runOptions())
+	cr, err := core.ContextMatchTarget(ctx, source, target, m.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newResult(cr), nil
 }
 
 // Options returns a copy of the matcher's resolved configuration, for
@@ -96,9 +110,18 @@ func (m *Matcher) Options() Options {
 	return opt
 }
 
-// Forget drops the memoized artifacts for one target catalog. Call it
-// after mutating a schema's sample instance in place; schemas simply no
-// longer referenced are reclaimed with the Matcher itself.
+// Forget drops the memoized artifacts for one target catalog, whether
+// they were populated by Match or pinned through Prepare. Call it after
+// mutating a schema's sample instance in place: the next Match or
+// Prepare against that schema retrains from the current rows.
+//
+// The aliasing rule for handles: an existing *Target keeps the
+// artifacts it pinned at Prepare time — Forget cannot (and must not)
+// reach into handles already matching on other goroutines. A handle
+// prepared before an in-place mutation therefore keeps answering from
+// the old sample; discard it and re-Prepare to observe the new rows.
+// Schemas simply no longer referenced need no Forget; they are
+// reclaimed with the Matcher itself.
 func (m *Matcher) Forget(target *Schema) { m.cache.Forget(target) }
 
 // runOptions assembles the per-call Options: the immutable configured

@@ -237,10 +237,6 @@ func TestMatcherEmptySchema(t *testing.T) {
 		if res != nil {
 			t.Errorf("%s: non-nil result alongside error", tc.name)
 		}
-		// The deprecated shim must keep its silent-degrade contract.
-		if shim := ctxmatch.Match(tc.src, tc.tgt, ctxmatch.DefaultOptions()); shim == nil || len(shim.Matches) != 0 {
-			t.Errorf("%s: legacy Match shim broke its empty-result contract: %+v", tc.name, shim)
-		}
 	}
 }
 
@@ -317,11 +313,13 @@ func TestMatcherOptionsSnapshot(t *testing.T) {
 	if got := bridged.Options(); got.Tau != 0.4 || got.Seed != 42 {
 		t.Errorf("WithOptions bridge = %+v", got)
 	}
-	// A legacy Options value has no Parallelism field set; the bridge
-	// must keep the Matcher's default instead of failing validation.
-	legacy := mustNew(t, ctxmatch.WithOptions(ctxmatch.DefaultOptions()))
+	// An externally assembled Options value may leave Parallelism zero;
+	// the bridge must keep the Matcher's default instead of failing
+	// validation.
+	opt.Parallelism = 0
+	legacy := mustNew(t, ctxmatch.WithOptions(opt))
 	if got := legacy.Options(); got.Parallelism < 1 {
-		t.Errorf("WithOptions(DefaultOptions()) left Parallelism = %d", got.Parallelism)
+		t.Errorf("WithOptions with zero Parallelism left Parallelism = %d", got.Parallelism)
 	}
 }
 
