@@ -9,6 +9,16 @@
 //	go run ./cmd/benchjson            # full fixture, writes BENCH_YYYY-MM-DD.json
 //	go run ./cmd/benchjson -quick     # reduced fixture for CI smoke
 //	go run ./cmd/benchjson -out dir   # write into dir instead of .
+//
+// With -compare it becomes a regression gate instead of a recorder:
+//
+//	go run ./cmd/benchjson -compare BENCH_2026-07-30.json
+//
+// re-measures on the baseline file's own fixture (so the numbers are
+// apples-to-apples regardless of -quick) and exits non-zero when
+// prepared_ns_op or cold_allocs_op regresses more than -tolerance
+// (default 25%) over the committed baseline. Improvements and
+// within-tolerance noise pass. No BENCH file is written in this mode.
 package main
 
 import (
@@ -55,11 +65,24 @@ type fixture struct {
 func main() {
 	quick := flag.Bool("quick", false, "reduced fixture for smoke runs")
 	outDir := flag.String("out", ".", "directory to write BENCH_<date>.json into")
+	comparePath := flag.String("compare", "", "baseline BENCH_<date>.json: gate on regressions instead of recording")
+	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed fractional regression before failing")
+	timeTolerance := flag.Float64("time-tolerance", 0, "with -compare: wider tolerance for wall-clock metrics, which vary across hardware (0 = same as -tolerance)")
 	flag.Parse()
 
+	var baseline *report
 	fx := fixture{Rows: 120, TargetRows: 1500, Gamma: 4}
 	if *quick {
 		fx = fixture{Rows: 80, TargetRows: 300, Gamma: 4}
+	}
+	if *comparePath != "" {
+		baseline = &report{}
+		data, err := os.ReadFile(*comparePath)
+		exitOn(err)
+		exitOn(json.Unmarshal(data, baseline))
+		// Measure on the baseline's fixture so the gated metrics are
+		// comparable; a -quick flag alongside -compare is overridden.
+		fx = baseline.Fixture
 	}
 	ds := datagen.Inventory(datagen.InventoryConfig{
 		Rows: fx.Rows, TargetRows: fx.TargetRows, Gamma: fx.Gamma,
@@ -90,6 +113,13 @@ func main() {
 			exitOn(err)
 		}
 	})
+
+	if baseline != nil {
+		if *timeTolerance == 0 {
+			*timeTolerance = *tolerance
+		}
+		os.Exit(compare(baseline, prep.NsPerOp(), cold.AllocsPerOp(), *timeTolerance, *tolerance))
+	}
 
 	// Batch throughput: the same source fanned as a MatchAll batch
 	// through a matcher with the machine's full worker budget, so the
@@ -143,6 +173,40 @@ func main() {
 	out = append(out, '\n')
 	exitOn(os.WriteFile(path, out, 0o644))
 	fmt.Printf("wrote %s\n%s", path, out)
+}
+
+// compare gates the two regression-prone headline metrics against the
+// baseline: prepared_ns_op (the steady-state serving cost, gated with
+// timeTol because wall clock shifts with hardware) and cold_allocs_op
+// (allocation discipline of the full pipeline, hardware-independent and
+// gated with the strict allocTol). Returns the process exit code: 0
+// within tolerance, 1 regressed.
+func compare(baseline *report, preparedNs, coldAllocs int64, timeTol, allocTol float64) int {
+	fmt.Printf("comparing against baseline %s (%s, %s/%s, fixture %d/%d rows)\n",
+		baseline.Date, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,
+		baseline.Fixture.Rows, baseline.Fixture.TargetRows)
+	failed := false
+	check := func(metric string, base, now int64, tolerance float64) {
+		if base <= 0 {
+			fmt.Printf("  %-16s baseline %d — skipped\n", metric, base)
+			return
+		}
+		ratio := float64(now)/float64(base) - 1
+		verdict := "ok"
+		if ratio > tolerance {
+			verdict = fmt.Sprintf("REGRESSED beyond %.0f%%", tolerance*100)
+			failed = true
+		}
+		fmt.Printf("  %-16s %12d -> %12d  (%+.1f%%)  %s\n", metric, base, now, ratio*100, verdict)
+	}
+	check("prepared_ns_op", baseline.PreparedNs, preparedNs, timeTol)
+	check("cold_allocs_op", baseline.ColdAllocs, coldAllocs, allocTol)
+	if failed {
+		fmt.Println("bench regression gate: FAIL")
+		return 1
+	}
+	fmt.Println("bench regression gate: PASS")
+	return 0
 }
 
 func max64(a, b int64) int64 {

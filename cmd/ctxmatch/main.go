@@ -14,85 +14,88 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 
 	"ctxmatch"
+	"ctxmatch/internal/cliflags"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam: args are the raw
+// arguments after the program name, output goes to the given writers,
+// and the return value is the process exit code (0 ok, 1 runtime
+// failure, 2 usage error).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctxmatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sourceList  = flag.String("source", "", "comma-separated source CSV files")
-		targetList  = flag.String("target", "", "comma-separated target CSV files")
-		tau         = flag.Float64("tau", 0.5, "confidence threshold τ for standard matches")
-		omega       = flag.Float64("omega", 5, "view improvement threshold ω")
-		inference   = flag.String("inference", "tgtclass", "view inference: naive, srcclass, tgtclass")
-		selection   = flag.String("selection", "qualtable", "match selection: qualtable, multitable")
-		late        = flag.Bool("late", false, "use LateDisjuncts instead of EarlyDisjuncts")
-		depth       = flag.Int("depth", 1, "conjunctive search depth (§3.5); 1 = simple conditions")
-		seed        = flag.Int64("seed", 1, "random seed for train/test partitioning")
-		parallelism = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for per-table matching")
-		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
-		standard    = flag.Bool("standard", false, "also print the standard (non-contextual) matches")
-		sql         = flag.Bool("sql", false, "print Clio-style mapping SQL for the selected matches")
-		asJSON      = flag.Bool("json", false, "emit the result in the versioned JSON wire format instead of text")
+		sourceList = fs.String("source", "", "comma-separated source CSV files")
+		targetList = fs.String("target", "", "comma-separated target CSV files")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		standard   = fs.Bool("standard", false, "also print the standard (non-contextual) matches")
+		sql        = fs.Bool("sql", false, "print Clio-style mapping SQL for the selected matches")
+		asJSON     = fs.Bool("json", false, "emit the result in the versioned JSON wire format instead of text")
 	)
-	flag.Parse()
+	matcherOpts := cliflags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *sourceList == "" || *targetList == "" {
-		fmt.Fprintln(os.Stderr, "usage: ctxmatch -source a.csv[,b.csv…] -target x.csv[,y.csv…]")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: ctxmatch -source a.csv[,b.csv…] -target x.csv[,y.csv…]")
+		fs.PrintDefaults()
+		return 2
 	}
 	if *asJSON && (*sql || *standard) {
 		// The JSON envelope always carries the standard matches; mapping
 		// SQL has no place in it. Refuse rather than silently drop flags.
-		fmt.Fprintln(os.Stderr, "ctxmatch: -json cannot be combined with -sql or -standard (the JSON result already includes the standard matches)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ctxmatch: -json cannot be combined with -sql or -standard (the JSON result already includes the standard matches)")
+		return 2
+	}
+
+	fail := func(err error) int {
+		msg := err.Error()
+		// Library errors already carry the package prefix.
+		if !strings.HasPrefix(msg, "ctxmatch:") {
+			msg = "ctxmatch: " + msg
+		}
+		fmt.Fprintln(stderr, msg)
+		return 1
 	}
 
 	src, err := loadSchema("source", *sourceList)
-	exitOn(err)
+	if err != nil {
+		return fail(err)
+	}
 	tgt, err := loadSchema("target", *targetList)
-	exitOn(err)
-
-	opts := []ctxmatch.Option{
-		ctxmatch.WithTau(*tau),
-		ctxmatch.WithOmega(*omega),
-		ctxmatch.WithEarlyDisjuncts(!*late),
-		ctxmatch.WithMaxDepth(*depth),
-		ctxmatch.WithSeed(*seed),
-		ctxmatch.WithParallelism(*parallelism),
-	}
-	switch strings.ToLower(*inference) {
-	case "naive":
-		opts = append(opts, ctxmatch.WithInference(ctxmatch.NaiveInfer))
-	case "srcclass":
-		opts = append(opts, ctxmatch.WithInference(ctxmatch.SrcClassInfer))
-	case "tgtclass":
-		opts = append(opts, ctxmatch.WithInference(ctxmatch.TgtClassInfer))
-	default:
-		exitOn(fmt.Errorf("unknown inference %q", *inference))
-	}
-	switch strings.ToLower(*selection) {
-	case "qualtable":
-		opts = append(opts, ctxmatch.WithSelection(ctxmatch.QualTable))
-	case "multitable":
-		opts = append(opts, ctxmatch.WithSelection(ctxmatch.MultiTable))
-	default:
-		exitOn(fmt.Errorf("unknown selection %q", *selection))
+	if err != nil {
+		return fail(err)
 	}
 
+	opts, err := matcherOpts()
+	if err != nil {
+		return fail(err)
+	}
 	matcher, err := ctxmatch.New(opts...)
-	exitOn(err)
+	if err != nil {
+		return fail(err)
+	}
 
-	// Ctrl-C (or an expired -timeout) cancels the run instead of killing
-	// the process mid-print.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// An expired -timeout (or the caller's ctx, Ctrl-C in main) cancels
+	// the run instead of killing the process mid-print.
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -100,52 +103,61 @@ func main() {
 	}
 
 	// Prepare the target catalog explicitly: for a single run this is
-	// equivalent to matcher.Match, and it is the session shape a service
-	// wrapping this binary would use (Prepare once, match many).
+	// equivalent to matcher.Match, and it is the session shape the
+	// ctxmatchd daemon uses (Prepare once, match many).
 	prepared, err := matcher.Prepare(ctx, tgt)
-	exitOn(err)
+	if err != nil {
+		return fail(err)
+	}
 	res, err := prepared.Match(ctx, src)
-	exitOn(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	if *asJSON {
 		out, err := json.MarshalIndent(res, "", "  ")
-		exitOn(err)
-		fmt.Println(string(out))
-		return
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, string(out))
+		return 0
 	}
 
 	if *standard {
-		fmt.Printf("standard matches (τ=%.2f):\n", *tau)
+		fmt.Fprintf(stdout, "standard matches (τ=%.2f):\n", matcher.Options().Tau)
 		for _, m := range res.Standard {
-			fmt.Printf("  %v\n", m)
+			fmt.Fprintf(stdout, "  %v\n", m)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if len(res.Families) > 0 {
-		fmt.Println("well-clustered view families:")
+		fmt.Fprintln(stdout, "well-clustered view families:")
 		for _, f := range res.Families {
-			fmt.Printf("  %v\n", f)
+			fmt.Fprintf(stdout, "  %v\n", f)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Println("selected matches:")
+	fmt.Fprintln(stdout, "selected matches:")
 	for _, m := range res.Matches {
-		fmt.Printf("  %v\n", m)
+		fmt.Fprintf(stdout, "  %v\n", m)
 	}
-	fmt.Printf("\n%d matches (%d contextual) in %s\n",
+	fmt.Fprintf(stdout, "\n%d matches (%d contextual) in %s\n",
 		len(res.Matches), len(res.ContextualMatches()), res.Elapsed.Round(1e6))
 
 	if *sql {
-		fmt.Println("\nmapping SQL:")
+		fmt.Fprintln(stdout, "\nmapping SQL:")
 		maps, err := ctxmatch.BuildMappings(res.Matches, src, tgt)
-		exitOn(err)
+		if err != nil {
+			return fail(err)
+		}
 		for _, m := range maps {
 			for _, def := range m.ViewDefinitions() {
-				fmt.Printf("%s;\n", def)
+				fmt.Fprintf(stdout, "%s;\n", def)
 			}
-			fmt.Printf("-- populate %s\n%s;\n\n", m.Target.Name, m.SQL())
+			fmt.Fprintf(stdout, "-- populate %s\n%s;\n\n", m.Target.Name, m.SQL())
 		}
 	}
+	return 0
 }
 
 func loadSchema(name, list string) (*ctxmatch.Schema, error) {
@@ -167,16 +179,4 @@ func loadSchema(name, list string) (*ctxmatch.Schema, error) {
 		return nil, fmt.Errorf("no tables in %s schema", name)
 	}
 	return s, nil
-}
-
-func exitOn(err error) {
-	if err != nil {
-		msg := err.Error()
-		// Library errors already carry the package prefix.
-		if !strings.HasPrefix(msg, "ctxmatch:") {
-			msg = "ctxmatch: " + msg
-		}
-		fmt.Fprintln(os.Stderr, msg)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+)
+
+// writeFixtureCSVs materializes a small inventory workload as CSV files
+// and returns the comma-separated -source and -target lists.
+func writeFixtureCSVs(t *testing.T) (sourceList, targetList string) {
+	t.Helper()
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 60, TargetRows: 90, Gamma: 3, Target: datagen.Ryan, Seed: 1,
+	})
+	dir := t.TempDir()
+	write := func(s *ctxmatch.Schema) string {
+		var paths []string
+		for _, tab := range s.Tables {
+			var buf bytes.Buffer
+			if err := tab.WriteCSV(&buf); err != nil {
+				t.Fatalf("encoding %s: %v", tab.Name, err)
+			}
+			p := filepath.Join(dir, tab.Name+".csv")
+			if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+				t.Fatalf("writing %s: %v", p, err)
+			}
+			paths = append(paths, p)
+		}
+		return strings.Join(paths, ",")
+	}
+	return write(ds.Source), write(ds.Target)
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestRunJSONEmitsVersionedEnvelope(t *testing.T) {
+	src, tgt := writeFixtureCSVs(t)
+	code, stdout, stderr := runCLI(t, "-source", src, "-target", tgt, "-json", "-parallelism", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	var envelope struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &envelope); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if envelope.Version != ctxmatch.ResultVersion {
+		t.Fatalf("version = %d, want %d", envelope.Version, ctxmatch.ResultVersion)
+	}
+	var res ctxmatch.Result
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout does not decode as ctxmatch.Result: %v", err)
+	}
+	if len(res.Matches) == 0 {
+		t.Error("decoded result has no matches")
+	}
+}
+
+func TestRunTextOutput(t *testing.T) {
+	src, tgt := writeFixtureCSVs(t)
+	code, stdout, stderr := runCLI(t, "-source", src, "-target", tgt, "-standard", "-parallelism", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"standard matches", "selected matches:", "contextual"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	src, tgt := writeFixtureCSVs(t)
+	cases := [][]string{
+		{},                           // no schemas at all
+		{"-source", src},             // missing -target
+		{"-no-such-flag"},            // unknown flag
+		{"-source", src, "-target", tgt, "-json", "-sql"}, // contradictory flags
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", args, code, stderr)
+		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-source") || !strings.Contains(stderr, "-inference") {
+		t.Errorf("help text missing flags:\n%s", stderr)
+	}
+}
+
+func TestBadInputExitsNonZero(t *testing.T) {
+	src, tgt := writeFixtureCSVs(t)
+	badCSV := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(badCSV, []byte("a:int,b:int\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		args []string
+		want string // substring of stderr
+	}{
+		{[]string{"-source", "/no/such/file.csv", "-target", tgt}, "loading"},
+		{[]string{"-source", badCSV, "-target", tgt}, "fields"},
+		{[]string{"-source", src, "-target", tgt, "-inference", "psychic"}, "unknown inference"},
+		{[]string{"-source", src, "-target", tgt, "-selection", "best"}, "unknown selection"},
+		{[]string{"-source", src, "-target", tgt, "-tau", "7"}, "tau"},
+	}
+	for _, tc := range cases {
+		code, _, stderr := runCLI(t, tc.args...)
+		if code != 1 {
+			t.Errorf("run(%v) = %d, want 1; stderr: %s", tc.args, code, stderr)
+			continue
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("run(%v) stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+		if !strings.HasPrefix(stderr, "ctxmatch:") {
+			t.Errorf("run(%v) stderr %q not prefixed with ctxmatch:", tc.args, stderr)
+		}
+	}
+}
+
+func TestCanceledContextExitsNonZero(t *testing.T) {
+	src, tgt := writeFixtureCSVs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	if code := run(ctx, []string{"-source", src, "-target", tgt}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d with canceled ctx, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "context canceled") {
+		t.Errorf("stderr %q does not surface the cancellation", errOut.String())
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "net"
+
+// newListener binds the daemon's TCP listener separately from Serve so
+// run can report the resolved address (":0" in tests) before serving.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

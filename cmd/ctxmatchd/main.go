@@ -1,0 +1,151 @@
+// Command ctxmatchd is the contextual schema matching daemon: a
+// long-lived HTTP service holding a named registry of prepared target
+// catalogs and serving match traffic against them.
+//
+//	ctxmatchd -addr :8080 -max-catalogs 8
+//
+// Endpoints (see internal/service):
+//
+//	GET  /healthz                          liveness + catalog count
+//	GET  /v1/catalogs                      list prepared catalogs with stats
+//	PUT  /v1/catalogs/{name}               upload + prepare a catalog (CSV or JSON)
+//	DELETE /v1/catalogs/{name}             drop a catalog
+//	POST /v1/catalogs/{name}/match         match one source schema
+//	POST /v1/catalogs/{name}/match-batch   match a batch with per-source isolation
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting,
+// in-flight requests get -drain-timeout to finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctxmatch"
+	"ctxmatch/internal/cliflags"
+	"ctxmatch/internal/service"
+)
+
+// daemonConfig is everything the daemon needs, parsed from flags.
+type daemonConfig struct {
+	addr         string
+	drainTimeout time.Duration
+	service      service.Config
+	matcherOpts  []ctxmatch.Option
+}
+
+// parseConfig parses args (without the program name) into a config.
+// Output (usage text) goes to w.
+func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
+	fs := flag.NewFlagSet("ctxmatchd", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		maxCatalogs = fs.Int("max-catalogs", 8, "prepared catalogs held before LRU eviction")
+		maxBody     = fs.Int64("max-body-bytes", 8<<20, "request body size cap in bytes (<0 disables)")
+		reqTimeout  = fs.Duration("request-timeout", 60*time.Second, "per-request timeout (<0 disables)")
+		maxInFlight = fs.Int("max-inflight", 0, "in-flight request bound (0 = 2×parallelism, <0 disables)")
+		drain       = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	matcherOpts := cliflags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	opts, err := matcherOpts()
+	if err != nil {
+		return nil, err
+	}
+
+	return &daemonConfig{
+		addr:         *addr,
+		drainTimeout: *drain,
+		service: service.Config{
+			MaxCatalogs:    *maxCatalogs,
+			MaxBodyBytes:   *maxBody,
+			RequestTimeout: *reqTimeout,
+			MaxInFlight:    *maxInFlight,
+		},
+		matcherOpts: opts,
+	}, nil
+}
+
+// run starts the daemon and blocks until ctx is canceled (SIGTERM/
+// SIGINT in main) or the listener fails. ready, when non-nil, receives
+// the bound address once the listener is up — tests use it.
+func run(ctx context.Context, cfg *daemonConfig, log *slog.Logger, ready chan<- string) error {
+	matcher, err := ctxmatch.New(cfg.matcherOpts...)
+	if err != nil {
+		return err
+	}
+	cfg.service.Matcher = matcher
+	cfg.service.Logger = log
+	svc, err := service.New(cfg.service)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	ln, err := newListener(cfg.addr)
+	if err != nil {
+		return err
+	}
+	log.Info("ctxmatchd listening", "addr", ln.Addr().String(),
+		"max_catalogs", cfg.service.MaxCatalogs,
+		"parallelism", matcher.Parallelism())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("draining", "timeout", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Warn("drain incomplete, closing", "err", err)
+		return srv.Close()
+	}
+	log.Info("drained cleanly")
+	return nil
+}
+
+func main() {
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg, err := parseConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "ctxmatchd:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, log, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("ctxmatchd failed", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig([]string{"-addr", "127.0.0.1:0", "-max-catalogs", "3", "-late"}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.service.MaxCatalogs != 3 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+
+	for _, bad := range [][]string{
+		{"-inference", "psychic"},
+		{"-selection", "best"},
+		{"-addr", ":0", "stray-arg"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseConfig(bad, io.Discard); err == nil {
+			t.Errorf("parseConfig(%v) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, checks
+// /healthz answers, then cancels the context and expects a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	cfg, err := parseConfig([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, cfg, slog.New(slog.NewTextHandler(io.Discard, nil)), ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body = %s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}

@@ -1,21 +1,29 @@
 // Serving: the enterprise session shape — one curated target catalog,
-// many incoming source schemas. The catalog is prepared once
-// (Matcher.Prepare trains and pins every target-side artifact); a batch
-// of sources then fans across the worker pool with MatchAll, a
-// continuous stream with MatchStream, and one result crosses a process
-// boundary as versioned JSON. A deliberately empty schema rides along
-// in the batch to show per-source error isolation.
+// many incoming source schemas — through the ctxmatchd daemon instead
+// of in-process calls. The full daemon handler stack (registry,
+// timeouts, body limits, concurrency bound, logging) is stood up behind
+// httptest; a client then uploads the catalog once
+// (PUT /v1/catalogs/{name} prepares and pins it), matches single
+// sources and a batch with a deliberately broken schema riding along to
+// show per-source error isolation, and decodes the responses — which
+// are the library's versioned Result wire envelope, the same bytes
+// encode.go documents.
 package main
 
 import (
-	"context"
+	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
+	"ctxmatch/internal/service"
 )
 
 func main() {
@@ -24,75 +32,150 @@ func main() {
 	catalog := datagen.Inventory(datagen.InventoryConfig{
 		Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: 1,
 	})
-	var sources []*ctxmatch.Schema
+	var sources []service.SchemaDoc
 	for seed := int64(1); seed <= 2; seed++ {
 		ds := datagen.Inventory(datagen.InventoryConfig{
 			Rows: 300, TargetRows: 150, Gamma: 4, Target: datagen.Ryan, Seed: seed,
 		})
 		ds.Source.Name = fmt.Sprintf("tenant%d", seed)
-		sources = append(sources, ds.Source)
+		doc, err := service.DocFromSchema(ds.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, doc)
 	}
-	sources = append(sources, ctxmatch.NewSchema("broken")) // no tables
+	sources = append(sources, service.SchemaDoc{Name: "broken"}) // no tables
 
+	// The daemon, exactly as cmd/ctxmatchd wires it, behind httptest.
 	matcher, err := ctxmatch.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Prepare once: all classifier training and catalog column scans
-	// happen here, not per request.
-	prepared, err := matcher.Prepare(context.Background(), catalog.Target)
+	svc, err := service.New(service.Config{
+		Matcher: matcher,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	daemon := httptest.NewServer(svc.Handler())
+	defer daemon.Close()
 
-	// Batch: results come back in input order; the broken schema fails
-	// alone, its siblings are untouched.
-	results, err := prepared.MatchAll(context.Background(), sources)
-	fmt.Println("== MatchAll over the batch ==")
-	for i, res := range results {
-		if res == nil {
+	// Upload + prepare the catalog once: all classifier training and
+	// catalog column scans happen inside this PUT, not per request.
+	catDoc, err := service.DocFromSchema(catalog.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := putJSON[service.CatalogInfo](daemon.URL+"/v1/catalogs/inventory", catDoc)
+	fmt.Printf("== PUT /v1/catalogs/inventory ==\n  prepared generation %d in %v: %d tables, %d rows, %d classifiers\n",
+		info.Generation, time.Duration(info.PreparedNS).Round(time.Millisecond), info.Tables, info.Rows, info.Classifiers)
+
+	// One source, one request. The response body is the versioned
+	// Result envelope; ctxmatch.Result decodes it directly.
+	var res ctxmatch.Result
+	body := post(daemon.URL+"/v1/catalogs/inventory/match", map[string]any{"source": sources[0]})
+	if err := json.Unmarshal(body, &res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== POST /v1/catalogs/inventory/match ==\n  %s: %d matches (%d contextual), %d envelope bytes\n",
+		sources[0].Name, len(res.Matches), len(res.ContextualMatches()), len(body))
+
+	// A batch: results come back index-aligned; the broken schema fails
+	// alone with an errors entry, its siblings are untouched.
+	body = post(daemon.URL+"/v1/catalogs/inventory/match-batch", map[string]any{"sources": sources})
+	var batch struct {
+		Results []json.RawMessage `json:"results"`
+		Errors  []struct {
+			Index  int    `json:"index"`
+			Schema string `json:"schema"`
+			Error  string `json:"error"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== POST /v1/catalogs/inventory/match-batch ==")
+	for i, raw := range batch.Results {
+		if string(raw) == "null" {
 			continue
+		}
+		var r ctxmatch.Result
+		if err := json.Unmarshal(raw, &r); err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("  %s: %d matches (%d contextual)\n",
-			sources[i].Name, len(res.Matches), len(res.ContextualMatches()))
+			sources[i].Name, len(r.Matches), len(r.ContextualMatches()))
 	}
-	var srcErr *ctxmatch.SourceError
-	if errors.As(err, &srcErr) {
-		fmt.Printf("  isolated failure: %v\n", srcErr)
-	}
-
-	// Stream: same catalog, sources arriving on a channel; outcomes are
-	// delivered in arrival order as they complete.
-	in := make(chan *ctxmatch.Schema)
-	go func() {
-		defer close(in)
-		for _, s := range sources[:2] {
-			in <- s
-		}
-	}()
-	fmt.Println("\n== MatchStream over the same catalog ==")
-	for outcome := range prepared.MatchStream(context.Background(), in) {
-		if outcome.Err != nil {
-			fmt.Printf("  #%d failed: %v\n", outcome.Index, outcome.Err)
-			continue
-		}
-		fmt.Printf("  #%d %s: %d matches\n",
-			outcome.Index, outcome.Source.Name, len(outcome.Result.Matches))
+	for _, e := range batch.Errors {
+		fmt.Printf("  isolated failure: source %d (%s): %s\n", e.Index, e.Schema, e.Error)
 	}
 
-	// Wire format: a Result is pure data and round-trips through JSON,
-	// so it can be answered to a client in another process.
-	wire, err := json.Marshal(results[0])
+	// The listing shows every prepared catalog with its prep-cost and
+	// pinned-artifact sizes; beyond -max-catalogs the LRU one is evicted.
+	var list struct {
+		Catalogs []service.CatalogInfo `json:"catalogs"`
+	}
+	if err := json.Unmarshal(get(daemon.URL+"/v1/catalogs"), &list); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== GET /v1/catalogs ==")
+	for _, c := range list.Catalogs {
+		fmt.Printf("  %s gen %d: %d tables, %d rows, %d feature columns\n",
+			c.Name, c.Generation, c.Tables, c.Rows, c.FeatureColumns)
+	}
+}
+
+func putJSON[T any](url string, payload any) T {
+	b, err := json.Marshal(payload)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var decoded ctxmatch.Result
-	if err := json.Unmarshal(wire, &decoded); err != nil {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(b))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n== wire format ==\n  %d bytes of JSON; first contextual edge after decode:\n", len(wire))
-	if ctx := decoded.ContextualMatches(); len(ctx) > 0 {
-		fmt.Printf("  %v\n", ctx[0])
+	req.Header.Set("Content-Type", "application/json")
+	var out T
+	if err := json.Unmarshal(do(req), &out); err != nil {
+		log.Fatal(err)
 	}
+	return out
+}
+
+func post(url string, payload any) []byte {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return do(req)
+}
+
+func get(url string) []byte {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return do(req)
+}
+
+func do(req *http.Request) []byte {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: %d: %s", req.Method, req.URL.Path, resp.StatusCode, body)
+	}
+	return body
 }

@@ -1,0 +1,70 @@
+// Package cliflags registers the matcher-tuning command-line flags
+// shared by cmd/ctxmatch and cmd/ctxmatchd, so the two binaries cannot
+// silently diverge in the option set they accept.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"ctxmatch"
+)
+
+// values holds the parsed flag targets between Register and Options.
+type values struct {
+	tau, omega  *float64
+	inference   *string
+	selection   *string
+	late        *bool
+	depth       *int
+	seed        *int64
+	parallelism *int
+}
+
+// Register defines the matcher-tuning flags (tau, omega, inference,
+// selection, late, depth, seed, parallelism) on fs and returns a
+// function that, called after fs.Parse, resolves them into Matcher
+// options — or an error for an unknown inference/selection name.
+func Register(fs *flag.FlagSet) func() ([]ctxmatch.Option, error) {
+	v := values{
+		tau:         fs.Float64("tau", 0.5, "confidence threshold τ for standard matches"),
+		omega:       fs.Float64("omega", 5, "view improvement threshold ω"),
+		inference:   fs.String("inference", "tgtclass", "view inference: naive, srcclass, tgtclass"),
+		selection:   fs.String("selection", "qualtable", "match selection: qualtable, multitable"),
+		late:        fs.Bool("late", false, "use LateDisjuncts instead of EarlyDisjuncts"),
+		depth:       fs.Int("depth", 1, "conjunctive search depth (§3.5); 1 = simple conditions"),
+		seed:        fs.Int64("seed", 1, "random seed for train/test partitioning"),
+		parallelism: fs.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for per-table matching"),
+	}
+	return func() ([]ctxmatch.Option, error) {
+		opts := []ctxmatch.Option{
+			ctxmatch.WithTau(*v.tau),
+			ctxmatch.WithOmega(*v.omega),
+			ctxmatch.WithEarlyDisjuncts(!*v.late),
+			ctxmatch.WithMaxDepth(*v.depth),
+			ctxmatch.WithSeed(*v.seed),
+			ctxmatch.WithParallelism(*v.parallelism),
+		}
+		switch strings.ToLower(*v.inference) {
+		case "naive":
+			opts = append(opts, ctxmatch.WithInference(ctxmatch.NaiveInfer))
+		case "srcclass":
+			opts = append(opts, ctxmatch.WithInference(ctxmatch.SrcClassInfer))
+		case "tgtclass":
+			opts = append(opts, ctxmatch.WithInference(ctxmatch.TgtClassInfer))
+		default:
+			return nil, fmt.Errorf("unknown inference %q", *v.inference)
+		}
+		switch strings.ToLower(*v.selection) {
+		case "qualtable":
+			opts = append(opts, ctxmatch.WithSelection(ctxmatch.QualTable))
+		case "multitable":
+			opts = append(opts, ctxmatch.WithSelection(ctxmatch.MultiTable))
+		default:
+			return nil, fmt.Errorf("unknown selection %q", *v.selection)
+		}
+		return opts, nil
+	}
+}

@@ -202,6 +202,15 @@ func newTargetClassifiers(tgt *relational.Schema) *targetClassifiers {
 	return tc
 }
 
+// domains returns how many per-domain classifiers were trained, for
+// prepared-target introspection.
+func (tc *targetClassifiers) domains() int {
+	if tc == nil {
+		return 0
+	}
+	return len(tc.byDomain)
+}
+
 // classify tags a source value with the target attribute it most
 // resembles, e.g. "book.title". Values in domains with no target
 // classifier tag as "".

@@ -55,6 +55,33 @@ func PrepareTarget(ctx context.Context, tgt *relational.Schema, opt Options) (*P
 // Target returns the schema the handle was prepared for.
 func (pt *PreparedTarget) Target() *relational.Schema { return pt.tgt }
 
+// PrepStats sizes the catalog and the artifacts a PreparedTarget pins,
+// for serving layers that list their prepared catalogs.
+type PrepStats struct {
+	// Tables, Rows and Attributes size the catalog's sample instance
+	// (rows and attributes are summed over the tables).
+	Tables, Rows, Attributes int
+	// Classifiers counts the trained per-domain target classifiers
+	// (zero unless the handle was prepared under TgtClassInfer).
+	Classifiers int
+	// FeatureColumns counts the precomputed column feature vectors.
+	FeatureColumns int
+}
+
+// Stats reports the size of the catalog and of the pinned artifacts.
+func (pt *PreparedTarget) Stats() PrepStats {
+	s := PrepStats{
+		Tables:         len(pt.tgt.Tables),
+		Classifiers:    pt.tcls.domains(),
+		FeatureColumns: pt.feats.Columns(),
+	}
+	for _, t := range pt.tgt.Tables {
+		s.Rows += len(t.Rows)
+		s.Attributes += len(t.Attrs)
+	}
+	return s
+}
+
 // Options returns the options the handle was prepared under.
 func (pt *PreparedTarget) Options() Options { return pt.opt }
 

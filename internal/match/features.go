@@ -72,3 +72,13 @@ func (e *Engine) ngramMaxValues() int {
 
 // Target returns the schema the features were computed for.
 func (tf *TargetFeatures) Target() *relational.Schema { return tf.tgt }
+
+// Columns returns how many column feature vectors (n-gram and numeric)
+// the layer holds — the size figure a serving layer reports per
+// prepared catalog.
+func (tf *TargetFeatures) Columns() int {
+	if tf == nil {
+		return 0
+	}
+	return len(tf.ngrams) + len(tf.numbers)
+}

@@ -1,0 +1,294 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"ctxmatch"
+)
+
+// Config assembles a Server. The zero value of every optional field
+// picks a sensible default.
+type Config struct {
+	// Matcher is the shared matcher all catalogs are prepared on.
+	// Required.
+	Matcher *ctxmatch.Matcher
+	// MaxCatalogs caps how many prepared catalogs the registry holds
+	// before LRU eviction; default 8.
+	MaxCatalogs int
+	// MaxBodyBytes caps request body size; default 8 MiB, <0 disables.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request end to end; default 60s,
+	// <0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests (excluding
+	// /healthz); default 2× the matcher's parallelism, <0 disables.
+	MaxInFlight int
+	// Logger receives structured request and lifecycle logs; default
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the ctxmatchd HTTP service: the catalog registry plus the
+// handler stack around it.
+type Server struct {
+	reg *Registry
+	log *slog.Logger
+	cfg Config
+	sem chan struct{}
+}
+
+// New validates cfg and builds the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Matcher == nil {
+		return nil, fmt.Errorf("service: Config.Matcher is required")
+	}
+	if cfg.MaxCatalogs == 0 {
+		cfg.MaxCatalogs = 8
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 2 * cfg.Matcher.Parallelism()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		reg: NewRegistry(cfg.Matcher, cfg.MaxCatalogs),
+		log: cfg.Logger,
+		cfg: cfg,
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return s, nil
+}
+
+// Registry exposes the catalog registry, mainly to tests and the
+// process wrapper.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the daemon's full handler stack: recovery and request
+// logging around everything; body-size limit, request timeout and the
+// in-flight bound around the API routes (but not /healthz, which must
+// answer even when the matcher is saturated).
+func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("GET /v1/catalogs", s.handleList)
+	api.HandleFunc("PUT /v1/catalogs/{name}", s.handlePut)
+	api.HandleFunc("DELETE /v1/catalogs/{name}", s.handleDelete)
+	api.HandleFunc("POST /v1/catalogs/{name}/match", s.handleMatch)
+	api.HandleFunc("POST /v1/catalogs/{name}/match-batch", s.handleMatchBatch)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", s.handleHealth)
+	root.Handle("/v1/", chain(api,
+		withMaxBytes(s.cfg.MaxBodyBytes),
+		withTimeout(s.cfg.RequestTimeout),
+		withLimit(s.sem),
+	))
+	return chain(root, withRecover(s.log), withLogging(s.log))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Catalogs: s.reg.Len()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.reg.List()
+	if infos == nil {
+		infos = []CatalogInfo{}
+	}
+	s.writeJSON(w, http.StatusOK, listResponse{Catalogs: infos})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if len(name) > 128 {
+		writeError(w, http.StatusBadRequest, "catalog name longer than 128 bytes")
+		return
+	}
+	schema, err := readSchema(r, name, bareDoc)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	info, evicted, replaced, err := s.reg.Prepare(r.Context(), name, schema)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	for _, victim := range evicted {
+		s.log.Info("catalog evicted", "name", victim, "for", name)
+	}
+	s.log.Info("catalog prepared", "name", name, "generation", info.Generation,
+		"prepared_ms", time.Duration(info.PreparedNS).Milliseconds(),
+		"tables", info.Tables, "rows", info.Rows)
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Delete(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	target, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
+		return
+	}
+	source, err := readSchema(r, "source", sourceDoc)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	res, err := target.Match(r.Context(), source)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	target, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch request: "+err.Error())
+		return
+	}
+	sources := make([]*ctxmatch.Schema, len(req.Sources))
+	resp := BatchResponse{Results: make([]json.RawMessage, len(req.Sources))}
+	for i, doc := range req.Sources {
+		src, err := doc.Build(fmt.Sprintf("source%d", i))
+		if err != nil {
+			// A malformed document is isolated exactly like a failed
+			// match: its slot stays null, siblings still run.
+			resp.Errors = append(resp.Errors, BatchError{Index: i, Schema: doc.Name, Error: err.Error()})
+			continue
+		}
+		sources[i] = src
+	}
+	// MatchAll's error is per-source (*SourceError via errors.Join);
+	// fold it into the response rather than failing the batch. A
+	// request-wide death (timeout, client gone) is reported whole below.
+	results, err := target.MatchAll(r.Context(), sources)
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		s.writeMappedError(w, ctxErr, http.StatusInternalServerError)
+		return
+	}
+	skipped := make(map[int]bool, len(resp.Errors))
+	for _, be := range resp.Errors {
+		skipped[be.Index] = true
+	}
+	for i, res := range results {
+		if res == nil || skipped[i] {
+			continue
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			s.writeMappedError(w, err, http.StatusInternalServerError)
+			return
+		}
+		resp.Results[i] = raw
+	}
+	var srcErrs []error
+	if err != nil {
+		// errors.Join exposes Unwrap() []error.
+		var multi interface{ Unwrap() []error }
+		if errors.As(err, &multi) {
+			srcErrs = multi.Unwrap()
+		} else {
+			srcErrs = []error{err}
+		}
+	}
+	for _, e := range srcErrs {
+		var se *ctxmatch.SourceError
+		if errors.As(e, &se) {
+			if skipped[se.Index] {
+				continue // already reported as a parse failure
+			}
+			resp.Errors = append(resp.Errors, BatchError{Index: se.Index, Schema: se.Schema, Error: se.Err.Error()})
+			continue
+		}
+		s.writeMappedError(w, e, http.StatusInternalServerError)
+		return
+	}
+	// Order per-source errors by index so responses are deterministic
+	// regardless of which worker goroutine failed first.
+	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Index < resp.Errors[j].Index })
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON writes a JSON response with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; all we can do is log.
+		s.log.Warn("encoding response", "err", err)
+	}
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The envelope is two fixed keys around a string; encoding cannot
+	// fail, and the connection write has no recovery path here anyway.
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// writeMappedError translates library and transport errors into
+// statuses: empty/invalid inputs 400, oversized bodies 413, timeouts
+// 504, client-canceled requests 503, anything else fallback.
+func (s *Server) writeMappedError(w http.ResponseWriter, err error, fallback int) {
+	status := fallback
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxBytes):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ctxmatch.ErrEmptySchema):
+		status = http.StatusBadRequest
+	}
+	if status >= 500 {
+		s.log.Error("request failed", "status", status, "err", err)
+	}
+	writeError(w, status, err.Error())
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// middleware wraps a handler with one cross-cutting concern; chain
+// applies a stack of them outermost-first.
+type middleware func(http.Handler) http.Handler
+
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusWriter records the status code and body size a handler wrote,
+// for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withRecover converts a handler panic into a 500 instead of killing
+// the connection, logging the stack.
+func withRecover(log *slog.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					log.Error("panic serving request",
+						"method", r.Method, "path", r.URL.Path,
+						"panic", v, "stack", string(debug.Stack()))
+					writeError(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// withLogging emits one structured log line per request: method, path,
+// status, duration and response size.
+func withLogging(log *slog.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", time.Since(start).Milliseconds(),
+				"bytes", sw.bytes,
+				"remote", r.RemoteAddr)
+		})
+	}
+}
+
+// withTimeout bounds each request's context; handlers surface the
+// resulting context.DeadlineExceeded as 504. d <= 0 disables the bound.
+func withTimeout(d time.Duration) middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// withLimit bounds in-flight requests with a semaphore. A request that
+// cannot get a slot waits; if its context expires first (the client
+// gave up, or withTimeout fired) it is answered 503 without ever
+// touching the matcher.
+func withLimit(sem chan struct{}) middleware {
+	return func(next http.Handler) http.Handler {
+		if sem == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, "server at capacity")
+			}
+		})
+	}
+}
+
+// withMaxBytes caps request body size; oversized bodies surface as
+// *http.MaxBytesError from the handler's read and map to 413. n <= 0
+// disables the cap.
+func withMaxBytes(n int64) middleware {
+	return func(next http.Handler) http.Handler {
+		if n <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+			next.ServeHTTP(w, r)
+		})
+	}
+}

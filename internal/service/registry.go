@@ -1,0 +1,175 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ctxmatch"
+)
+
+// Registry is a named collection of prepared target catalogs backed by
+// one shared Matcher. Preparation (the expensive part — classifier
+// training, column scans) always runs outside the registry lock; the
+// lock guards only the name → handle map and its LRU order, so match
+// traffic is never blocked behind a Prepare and re-preparing a name is
+// an atomic pointer swap: in-flight readers keep the immutable handle
+// they already fetched and finish on it, per the library's aliasing
+// rule.
+//
+// Beyond Cap prepared catalogs, the least-recently-used one is evicted
+// and its cached artifacts dropped from the Matcher. "Use" is a match
+// or a (re-)prepare; listing does not touch recency.
+type Registry struct {
+	matcher *ctxmatch.Matcher
+	cap     int
+
+	mu      sync.Mutex
+	entries map[string]*catalogEntry
+	order   []string // LRU order, least recently used first
+	// gens counts preparations per name for the whole registry
+	// lifetime, surviving eviction and deletion, so a re-uploaded
+	// catalog's Generation never goes backwards.
+	gens map[string]int
+}
+
+type catalogEntry struct {
+	target *ctxmatch.Target
+	info   CatalogInfo
+}
+
+// NewRegistry builds a registry around m holding at most cap prepared
+// catalogs; cap < 1 means 1.
+func NewRegistry(m *ctxmatch.Matcher, cap int) *Registry {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Registry{matcher: m, cap: cap, entries: map[string]*catalogEntry{}, gens: map[string]int{}}
+}
+
+// Prepare prepares schema and installs it under name, replacing any
+// previous generation atomically. It returns the new catalog's info,
+// the names evicted to make room, and whether the name already existed.
+// When two Prepares for one name race, the last to finish wins — both
+// handles are valid, and readers that fetched the loser simply finish
+// on it.
+func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Schema) (info CatalogInfo, evicted []string, replaced bool, err error) {
+	// The expensive part, outside the lock.
+	t, err := r.matcher.Prepare(ctx, schema)
+	if err != nil {
+		return CatalogInfo{}, nil, false, err
+	}
+	st := t.Stats()
+
+	r.mu.Lock()
+	old := r.entries[name]
+	r.gens[name]++
+	gen := r.gens[name]
+	info = CatalogInfo{
+		Name:           name,
+		Generation:     gen,
+		PreparedAt:     time.Now().UTC(),
+		PreparedNS:     st.PreparedIn.Nanoseconds(),
+		Tables:         st.Tables,
+		Rows:           st.Rows,
+		Attributes:     st.Attributes,
+		Classifiers:    st.Classifiers,
+		FeatureColumns: st.FeatureColumns,
+	}
+	r.entries[name] = &catalogEntry{target: t, info: info}
+	r.touchLocked(name)
+	var forget []*ctxmatch.Schema
+	for len(r.entries) > r.cap {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		forget = append(forget, r.entries[victim].target.Schema())
+		delete(r.entries, victim)
+		evicted = append(evicted, victim)
+	}
+	r.mu.Unlock()
+
+	// Drop cached artifacts outside the lock: the replaced generation's
+	// (each upload parses a fresh schema object, so the old one can
+	// never be re-Prepared) and the evicted catalogs'. Handles already
+	// fetched by in-flight readers pin their own artifacts and are
+	// unaffected.
+	if old != nil {
+		replaced = true
+		r.matcher.Forget(old.target.Schema())
+	}
+	for _, s := range forget {
+		r.matcher.Forget(s)
+	}
+	return info, evicted, replaced, nil
+}
+
+// Get returns the current handle for name and marks it recently used.
+func (r *Registry) Get(name string) (*ctxmatch.Target, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, false
+	}
+	r.touchLocked(name)
+	return e.target, true
+}
+
+// Delete removes name from the registry, dropping its cached artifacts.
+// It reports whether the name existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
+		r.removeLocked(name)
+	}
+	r.mu.Unlock()
+	if ok {
+		r.matcher.Forget(e.target.Schema())
+	}
+	return ok
+}
+
+// List returns the prepared catalogs' info, most recently used first,
+// without touching recency.
+func (r *Registry) List() []CatalogInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CatalogInfo, 0, len(r.entries))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		out = append(out, r.entries[r.order[i]].info)
+	}
+	return out
+}
+
+// Len returns how many catalogs are currently prepared.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Cap returns the registry's catalog capacity.
+func (r *Registry) Cap() int { return r.cap }
+
+// touchLocked moves name to the most-recently-used end of the order.
+func (r *Registry) touchLocked(name string) {
+	r.removeLocked(name)
+	r.order = append(r.order, name)
+}
+
+func (r *Registry) removeLocked(name string) {
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// String renders the registry compactly for logs.
+func (r *Registry) String() string {
+	return fmt.Sprintf("registry(%d/%d catalogs)", r.Len(), r.cap)
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+)
+
+func registryFixture(t *testing.T, seed int64) *ctxmatch.Schema {
+	t.Helper()
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 40, TargetRows: 60, Gamma: 3, Target: datagen.Ryan, Seed: seed,
+	})
+	return ds.Target
+}
+
+func TestRegistryLRUAndGenerations(t *testing.T) {
+	reg := NewRegistry(testMatcher(t), 2)
+	ctx := context.Background()
+
+	info, evicted, replaced, err := reg.Prepare(ctx, "a", registryFixture(t, 1))
+	if err != nil {
+		t.Fatalf("Prepare a: %v", err)
+	}
+	if replaced || len(evicted) != 0 || info.Generation != 1 {
+		t.Fatalf("first prepare: info=%+v evicted=%v replaced=%v", info, evicted, replaced)
+	}
+	if info.PreparedNS <= 0 {
+		t.Errorf("PreparedNS = %d, want > 0", info.PreparedNS)
+	}
+
+	if _, _, _, err := reg.Prepare(ctx, "b", registryFixture(t, 2)); err != nil {
+		t.Fatalf("Prepare b: %v", err)
+	}
+	// Touch a, then insert c: b must be the eviction victim.
+	if _, ok := reg.Get("a"); !ok {
+		t.Fatal("Get a failed")
+	}
+	_, evicted, _, err = reg.Prepare(ctx, "c", registryFixture(t, 3))
+	if err != nil {
+		t.Fatalf("Prepare c: %v", err)
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if _, ok := reg.Get("b"); ok {
+		t.Error("evicted catalog still resolvable")
+	}
+
+	// Re-prepare bumps the generation and reports replacement.
+	info, _, replaced, err = reg.Prepare(ctx, "a", registryFixture(t, 4))
+	if err != nil {
+		t.Fatalf("re-Prepare a: %v", err)
+	}
+	if !replaced || info.Generation != 2 {
+		t.Fatalf("re-prepare: info=%+v replaced=%v, want generation 2", info, replaced)
+	}
+
+	if !reg.Delete("a") || reg.Delete("a") {
+		t.Error("Delete semantics wrong")
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d, want 1", reg.Len())
+	}
+
+	// Generations survive eviction and deletion: they never go
+	// backwards for a name, so clients can order by freshness.
+	info, _, _, err = reg.Prepare(ctx, "b", registryFixture(t, 2))
+	if err != nil {
+		t.Fatalf("re-Prepare evicted b: %v", err)
+	}
+	if info.Generation != 2 {
+		t.Errorf("evicted-then-reprepared generation = %d, want 2", info.Generation)
+	}
+	info, _, _, err = reg.Prepare(ctx, "a", registryFixture(t, 1))
+	if err != nil {
+		t.Fatalf("re-Prepare deleted a: %v", err)
+	}
+	if info.Generation != 3 {
+		t.Errorf("deleted-then-reprepared generation = %d, want 3", info.Generation)
+	}
+}
+
+func TestRegistryPrepareError(t *testing.T) {
+	reg := NewRegistry(testMatcher(t), 2)
+	if _, _, _, err := reg.Prepare(context.Background(), "x", ctxmatch.NewSchema("empty")); err == nil {
+		t.Fatal("preparing an empty schema succeeded")
+	}
+	if reg.Len() != 0 {
+		t.Errorf("failed prepare left %d entries", reg.Len())
+	}
+}

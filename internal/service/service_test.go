@@ -1,0 +1,438 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+)
+
+// fixtureDocs builds a small inventory workload and returns it as
+// upload documents, so the server and the in-process expectation parse
+// the exact same bytes.
+func fixtureDocs(t *testing.T, seed int64) (catalog, source SchemaDoc) {
+	t.Helper()
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 60, TargetRows: 90, Gamma: 3, Target: datagen.Ryan, Seed: seed,
+	})
+	cat, err := DocFromSchema(ds.Target)
+	if err != nil {
+		t.Fatalf("encoding catalog: %v", err)
+	}
+	src, err := DocFromSchema(ds.Source)
+	if err != nil {
+		t.Fatalf("encoding source: %v", err)
+	}
+	return cat, src
+}
+
+func testMatcher(t *testing.T) *ctxmatch.Matcher {
+	t.Helper()
+	m, err := ctxmatch.New(ctxmatch.WithSeed(1), ctxmatch.WithParallelism(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// newTestServer stands the full daemon handler stack up behind httptest.
+func newTestServer(t *testing.T, mutate func(*Config)) (*httptest.Server, *Server) {
+	t.Helper()
+	cfg := Config{
+		Matcher: testMatcher(t),
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshaling request: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("building request: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, data
+}
+
+func putCatalog(t *testing.T, ts *httptest.Server, name string, doc SchemaDoc) (int, CatalogInfo) {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPut, ts.URL+"/v1/catalogs/"+name, doc)
+	var info CatalogInfo
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatalf("decoding catalog info: %v\n%s", err, body)
+		}
+	}
+	return resp.StatusCode, info
+}
+
+// TestEndToEndMatch is the acceptance path: prepare a catalog over
+// HTTP, match a source against it, decode the versioned Result
+// envelope, and check the edges equal an in-process Target.Match on
+// identically parsed schemas.
+func TestEndToEndMatch(t *testing.T) {
+	catDoc, srcDoc := fixtureDocs(t, 1)
+	ts, _ := newTestServer(t, nil)
+
+	status, info := putCatalog(t, ts, "inventory", catDoc)
+	if status != http.StatusCreated {
+		t.Fatalf("PUT status = %d, want 201", status)
+	}
+	if info.Name != "inventory" || info.Generation != 1 {
+		t.Fatalf("info = %+v, want name inventory generation 1", info)
+	}
+	if info.Tables == 0 || info.Rows == 0 || info.Attributes == 0 {
+		t.Fatalf("info sizes not populated: %+v", info)
+	}
+	if info.Classifiers == 0 || info.FeatureColumns == 0 {
+		t.Fatalf("info artifact sizes not populated: %+v", info)
+	}
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/inventory/match",
+		matchRequest{Source: srcDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match status = %d: %s", resp.StatusCode, body)
+	}
+	// The response must be the library's versioned envelope.
+	var envelope struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Version != ctxmatch.ResultVersion {
+		t.Fatalf("response is not a version-%d Result envelope: %v\n%s",
+			ctxmatch.ResultVersion, err, body)
+	}
+	var got ctxmatch.Result
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decoding Result: %v", err)
+	}
+
+	// In-process expectation on the same parsed bytes and options.
+	catalog, err := catDoc.Build("inventory")
+	if err != nil {
+		t.Fatalf("building catalog: %v", err)
+	}
+	source, err := srcDoc.Build("source")
+	if err != nil {
+		t.Fatalf("building source: %v", err)
+	}
+	prepared, err := testMatcher(t).Prepare(context.Background(), catalog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	want, err := prepared.Match(context.Background(), source)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(want.Matches) == 0 {
+		t.Fatal("fixture produced no matches; the comparison is vacuous")
+	}
+	gotEdges, _ := json.Marshal(got.Matches)
+	wantEdges, _ := json.Marshal(want.Matches)
+	if !bytes.Equal(gotEdges, wantEdges) {
+		t.Errorf("daemon edges differ from in-process Target.Match\n got: %s\nwant: %s", gotEdges, wantEdges)
+	}
+}
+
+// TestMatchCSVBody exercises the CSV fast path on both endpoints: a
+// text/csv PUT becomes a one-table catalog, a text/csv match body a
+// one-table source.
+func TestMatchCSVBody(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	catalogCSV := "title:text,price:real\nWar and Peace,12.5\nDubliners,8.0\nHamlet,6.1\n"
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/catalogs/books", strings.NewReader(catalogCSV))
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT csv status = %d, want 201", resp.StatusCode)
+	}
+
+	sourceCSV := "name:text,cost:real\nUlysses,11.0\nOdyssey,9.5\n"
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/catalogs/books/match", strings.NewReader(sourceCSV))
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match csv status = %d: %s", resp.StatusCode, body)
+	}
+	var res ctxmatch.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding Result: %v", err)
+	}
+}
+
+// TestMatchBatch checks per-source error isolation: a broken source in
+// the middle yields a null slot and an errors entry while its siblings
+// return full results.
+func TestMatchBatch(t *testing.T) {
+	catDoc, srcDoc := fixtureDocs(t, 1)
+	_, srcDoc2 := fixtureDocs(t, 2)
+	ts, _ := newTestServer(t, nil)
+	if status, _ := putCatalog(t, ts, "inv", catDoc); status != http.StatusCreated {
+		t.Fatalf("PUT status = %d", status)
+	}
+
+	broken := SchemaDoc{Name: "broken"} // no tables
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/inv/match-batch",
+		batchRequest{Sources: []SchemaDoc{srcDoc, broken, srcDoc2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("decoding batch response: %v", err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(br.Results))
+	}
+	for _, i := range []int{0, 2} {
+		var res ctxmatch.Result
+		if err := json.Unmarshal(br.Results[i], &res); err != nil {
+			t.Fatalf("result %d does not decode as a Result envelope: %v", i, err)
+		}
+		if len(res.Matches) == 0 {
+			t.Errorf("result %d has no matches", i)
+		}
+	}
+	if string(br.Results[1]) != "null" && len(br.Results[1]) != 0 {
+		t.Errorf("broken source's slot = %s, want null", br.Results[1])
+	}
+	if len(br.Errors) != 1 || br.Errors[0].Index != 1 {
+		t.Fatalf("errors = %+v, want exactly one at index 1", br.Errors)
+	}
+	if !strings.Contains(br.Errors[0].Error, "no tables") {
+		t.Errorf("error %q does not mention the empty schema", br.Errors[0].Error)
+	}
+}
+
+func TestHealthListDelete(t *testing.T) {
+	catDoc, _ := fixtureDocs(t, 1)
+	ts, _ := newTestServer(t, nil)
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" || h.Catalogs != 0 {
+		t.Fatalf("healthz = %s", body)
+	}
+
+	if status, _ := putCatalog(t, ts, "a", catDoc); status != http.StatusCreated {
+		t.Fatalf("PUT a = %d", status)
+	}
+	if status, _ := putCatalog(t, ts, "b", catDoc); status != http.StatusCreated {
+		t.Fatalf("PUT b = %d", status)
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/catalogs", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var list listResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	if len(list.Catalogs) != 2 || list.Catalogs[0].Name != "b" || list.Catalogs[1].Name != "a" {
+		t.Fatalf("list = %+v, want [b a] (most recently used first)", list.Catalogs)
+	}
+
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/catalogs/a", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/catalogs/a", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	catDoc, srcDoc := fixtureDocs(t, 1)
+	ts, _ := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 256 })
+
+	// Unknown catalog.
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/nope/match", matchRequest{Source: srcDoc})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown catalog status = %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed CSV upload.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/catalogs/bad", strings.NewReader(":::\n"))
+	req.Header.Set("Content-Type", "text/csv")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad csv status = %d, want 400", r2.StatusCode)
+	}
+
+	// Oversized body (cap is 256 bytes above).
+	if status, _ := putCatalog(t, ts, "big", catDoc); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", status)
+	}
+
+	// Wrong method on a routed path.
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/catalogs/nope/match", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on match status = %d, want 405", resp.StatusCode)
+	}
+
+	// Error responses carry the JSON error envelope.
+	var eb errorBody
+	_, body := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/nope/match", matchRequest{Source: srcDoc})
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Errorf("404 body is not the error envelope: %s", body)
+	}
+}
+
+// TestEviction: beyond the cap the least-recently-used catalog is
+// evicted; touching a catalog with match traffic protects it.
+func TestEviction(t *testing.T) {
+	catDoc, srcDoc := fixtureDocs(t, 1)
+	ts, _ := newTestServer(t, func(c *Config) { c.MaxCatalogs = 2 })
+
+	for _, name := range []string{"a", "b"} {
+		if status, _ := putCatalog(t, ts, name, catDoc); status != http.StatusCreated {
+			t.Fatalf("PUT %s = %d", name, status)
+		}
+	}
+	// Touch "a" so "b" is the LRU when "c" arrives.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/a/match", matchRequest{Source: srcDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match a = %d: %s", resp.StatusCode, body)
+	}
+	if status, _ := putCatalog(t, ts, "c", catDoc); status != http.StatusCreated {
+		t.Fatalf("PUT c = %d", status)
+	}
+
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/b/match", matchRequest{Source: srcDoc})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted catalog status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/a/match", matchRequest{Source: srcDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("touched catalog status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReprepareUnderLoad re-prepares a catalog name while concurrent
+// readers hammer the match endpoint, asserting no request ever sees a
+// 5xx: in-flight readers finish on the handle they fetched, new readers
+// get the swapped one. Run with -race.
+func TestReprepareUnderLoad(t *testing.T) {
+	catDoc, srcDoc := fixtureDocs(t, 1)
+	catDoc2, _ := fixtureDocs(t, 3)
+	ts, svc := newTestServer(t, func(c *Config) { c.MaxInFlight = -1 })
+	if status, _ := putCatalog(t, ts, "hot", catDoc); status != http.StatusCreated {
+		t.Fatalf("PUT = %d", status)
+	}
+
+	const (
+		readers       = 4
+		matchesPer    = 3
+		reprepares    = 6
+		reprepareGap  = 5 * time.Millisecond
+		catalogChurns = 2 // alternate between two generations' schemas
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers*matchesPer+reprepares)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		docs := [catalogChurns]SchemaDoc{catDoc, catDoc2}
+		for i := 0; i < reprepares; i++ {
+			status, _ := putCatalog(t, ts, "hot", docs[i%catalogChurns])
+			if status != http.StatusOK {
+				errCh <- fmt.Errorf("re-prepare %d: status %d", i, status)
+			}
+			time.Sleep(reprepareGap)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < matchesPer; i++ {
+				resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/hot/match",
+					matchRequest{Source: srcDoc})
+				if resp.StatusCode >= 500 {
+					errCh <- fmt.Errorf("reader saw %d: %s", resp.StatusCode, body)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("reader saw %d: %s", resp.StatusCode, body)
+					continue
+				}
+				var res ctxmatch.Result
+				if err := json.Unmarshal(body, &res); err != nil {
+					errCh <- fmt.Errorf("reader %d: bad envelope: %v", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if got := svc.Registry().Len(); got != 1 {
+		t.Errorf("registry holds %d catalogs, want 1", got)
+	}
+	infos := svc.Registry().List()
+	if len(infos) != 1 || infos[0].Generation != 1+reprepares {
+		t.Errorf("generation = %+v, want %d", infos, 1+reprepares)
+	}
+}

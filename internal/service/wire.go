@@ -1,0 +1,214 @@
+// Package service implements the ctxmatchd HTTP daemon: a named
+// registry of prepared target catalogs (Matcher.Prepare behind
+// PUT /v1/catalogs/{name}, with LRU eviction beyond a configurable cap
+// and an atomic swap on re-prepare so in-flight readers are never
+// blocked or failed) and match traffic against them
+// (POST /v1/catalogs/{name}/match for one source,
+// POST /v1/catalogs/{name}/match-batch fanning a batch through
+// Target.MatchAll with per-source error isolation), plus GET /healthz
+// and GET /v1/catalogs listing prepared handles with prep-time/size
+// stats.
+//
+// The daemon layer adds what the library deliberately leaves out:
+// per-request timeouts, body-size limits, bounded in-flight
+// concurrency, structured request logging and graceful drain — see
+// cmd/ctxmatchd for the process wrapper.
+//
+// Match responses are the library's versioned Result wire envelope
+// exactly as encode.go documents it (the daemon writes it compact,
+// cmd/ctxmatch -json indented — identical JSON either way): a client
+// that already decodes one decodes the other with the same code.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"time"
+
+	"ctxmatch"
+)
+
+// TableDoc is one table of an uploaded schema: the sample instance as
+// CSV with the library's typed header ("name:type" columns — see
+// ctxmatch.ReadCSV).
+type TableDoc struct {
+	// Name names the table inside its schema.
+	Name string `json:"name"`
+	// CSV holds the typed-header CSV encoding of the table.
+	CSV string `json:"csv"`
+}
+
+// SchemaDoc is the JSON upload format for a schema: a named collection
+// of CSV-encoded tables. It is what PUT /v1/catalogs/{name} and the
+// match endpoints accept under Content-Type application/json.
+type SchemaDoc struct {
+	// Name names the schema; when empty the server substitutes a
+	// context-appropriate fallback (the catalog name, or "source").
+	Name string `json:"name,omitempty"`
+	// Tables holds the schema's tables; at least one is required.
+	Tables []TableDoc `json:"tables"`
+}
+
+// DocFromSchema encodes a live schema as its upload document, the
+// client-side inverse of SchemaDoc.Build.
+func DocFromSchema(s *ctxmatch.Schema) (SchemaDoc, error) {
+	doc := SchemaDoc{Name: s.Name}
+	for _, t := range s.Tables {
+		var b strings.Builder
+		if err := t.WriteCSV(&b); err != nil {
+			return SchemaDoc{}, fmt.Errorf("encoding table %q: %w", t.Name, err)
+		}
+		doc.Tables = append(doc.Tables, TableDoc{Name: t.Name, CSV: b.String()})
+	}
+	return doc, nil
+}
+
+// Build parses the document into a live schema, naming it fallback when
+// the document carries no name of its own.
+func (d SchemaDoc) Build(fallback string) (*ctxmatch.Schema, error) {
+	name := d.Name
+	if name == "" {
+		name = fallback
+	}
+	s := ctxmatch.NewSchema(name)
+	for i, td := range d.Tables {
+		if td.Name == "" {
+			return nil, fmt.Errorf("table %d has no name", i)
+		}
+		t, err := ctxmatch.ReadCSV(td.Name, strings.NewReader(td.CSV))
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", td.Name, err)
+		}
+		if err := s.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// CatalogInfo describes one prepared catalog for the listing endpoint:
+// identity, preparation cost and pinned-artifact sizes
+// (ctxmatch.TargetStats over the wire).
+type CatalogInfo struct {
+	// Name is the registry name the catalog was uploaded under.
+	Name string `json:"name"`
+	// Generation counts the times this name has been (re-)prepared,
+	// starting at 1.
+	Generation int `json:"generation"`
+	// PreparedAt is when the current generation finished preparing.
+	PreparedAt time.Time `json:"prepared_at"`
+	// PreparedNS is the wall-clock preparation cost in nanoseconds.
+	PreparedNS int64 `json:"prepared_ns"`
+	// Tables, Rows and Attributes size the catalog's sample instance.
+	Tables     int `json:"tables"`
+	Rows       int `json:"rows"`
+	Attributes int `json:"attributes"`
+	// Classifiers and FeatureColumns size the pinned artifacts.
+	Classifiers    int `json:"classifiers"`
+	FeatureColumns int `json:"feature_columns"`
+}
+
+// matchRequest is the JSON body of POST /v1/catalogs/{name}/match.
+type matchRequest struct {
+	Source SchemaDoc `json:"source"`
+}
+
+// batchRequest is the JSON body of POST /v1/catalogs/{name}/match-batch.
+type batchRequest struct {
+	Sources []SchemaDoc `json:"sources"`
+}
+
+// BatchError reports the isolated failure of one source of a batch.
+type BatchError struct {
+	// Index is the source's position in the request's sources array.
+	Index int `json:"index"`
+	// Schema is the failed source schema's name, "" for a nil one.
+	Schema string `json:"schema,omitempty"`
+	// Error is the failure rendered as text.
+	Error string `json:"error"`
+}
+
+// BatchResponse is the body of a match-batch response. Results is
+// index-aligned with the request's sources; a failed source holds null
+// there and one entry in Errors, without failing its siblings.
+type BatchResponse struct {
+	// Results holds one Result wire envelope (or null) per source.
+	Results []json.RawMessage `json:"results"`
+	// Errors lists the per-source failures, in index order.
+	Errors []BatchError `json:"errors,omitempty"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// listResponse is the body of GET /v1/catalogs.
+type listResponse struct {
+	Catalogs []CatalogInfo `json:"catalogs"`
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Catalogs int    `json:"catalogs"`
+}
+
+// readSchema decodes a request body into a schema. application/json
+// bodies are SchemaDoc (optionally wrapped — see wrap); anything
+// CSV-shaped (text/csv, or no content type) is a single typed-header
+// CSV table, named fallback, forming a one-table schema of the same
+// name.
+func readSchema(r *http.Request, fallback string, wrap func([]byte) (SchemaDoc, error)) (*ctxmatch.Schema, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			ct = mt
+		}
+	}
+	if ct == "application/json" {
+		doc, err := wrap(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(doc.Tables) == 0 {
+			return nil, fmt.Errorf("schema document has no tables")
+		}
+		return doc.Build(fallback)
+	}
+	t, err := ctxmatch.ReadCSV(fallback, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	s := ctxmatch.NewSchema(fallback)
+	if err := s.Add(t); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// bareDoc decodes a body that is the SchemaDoc itself (catalog upload).
+func bareDoc(body []byte) (SchemaDoc, error) {
+	var doc SchemaDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return SchemaDoc{}, fmt.Errorf("decoding schema document: %w", err)
+	}
+	return doc, nil
+}
+
+// sourceDoc decodes a body of the form {"source": SchemaDoc} (match).
+func sourceDoc(body []byte) (SchemaDoc, error) {
+	var req matchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return SchemaDoc{}, fmt.Errorf("decoding match request: %w", err)
+	}
+	return req.Source, nil
+}

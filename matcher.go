@@ -102,6 +102,10 @@ func (m *Matcher) MatchTarget(ctx context.Context, source, target *Schema) (*Res
 	return newResult(cr), nil
 }
 
+// Parallelism returns the matcher's resolved worker budget, for serving
+// layers that size their own concurrency bounds from it.
+func (m *Matcher) Parallelism() int { return m.opt.Parallelism }
+
 // Options returns a copy of the matcher's resolved configuration, for
 // diagnostics and for bridging to the legacy Options-based helpers.
 func (m *Matcher) Options() Options {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"ctxmatch/internal/core"
 )
@@ -23,9 +24,43 @@ import (
 // schema's tables in place does NOT invalidate the handle (see
 // Matcher.Forget) — re-Prepare after any in-place mutation.
 type Target struct {
-	m      *Matcher
-	prep   *core.PreparedTarget
-	schema *Schema
+	m        *Matcher
+	prep     *core.PreparedTarget
+	schema   *Schema
+	prepTime time.Duration
+}
+
+// TargetStats describes what a prepared handle cost and pins: the
+// wall-clock preparation time and the size of the catalog and its
+// pinned artifacts. A serving layer lists these per catalog.
+//
+// PreparedIn measures the Prepare call that built the handle; when the
+// artifacts came from the matcher's cache (a re-Prepare of a live
+// catalog) it is near zero, which is itself informative.
+type TargetStats struct {
+	// PreparedIn is the wall-clock duration of the Prepare call.
+	PreparedIn time.Duration
+	// Tables, Rows and Attributes size the catalog's sample instance.
+	Tables, Rows, Attributes int
+	// Classifiers counts trained per-domain target classifiers (zero
+	// unless prepared under TgtClassInfer).
+	Classifiers int
+	// FeatureColumns counts precomputed column feature vectors.
+	FeatureColumns int
+}
+
+// Stats reports the preparation cost and pinned-artifact sizes of the
+// handle.
+func (t *Target) Stats() TargetStats {
+	ps := t.prep.Stats()
+	return TargetStats{
+		PreparedIn:     t.prepTime,
+		Tables:         ps.Tables,
+		Rows:           ps.Rows,
+		Attributes:     ps.Attributes,
+		Classifiers:    ps.Classifiers,
+		FeatureColumns: ps.FeatureColumns,
+	}
 }
 
 // Prepare eagerly trains and pins all artifacts that depend only on the
@@ -35,11 +70,12 @@ type Target struct {
 // until Forget drops them. An empty or nil target returns
 // ErrEmptySchema; a canceled ctx returns before any work is done.
 func (m *Matcher) Prepare(ctx context.Context, target *Schema) (*Target, error) {
+	start := time.Now()
 	pt, err := core.PrepareTarget(ctx, target, m.runOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &Target{m: m, prep: pt, schema: target}, nil
+	return &Target{m: m, prep: pt, schema: target, prepTime: time.Since(start)}, nil
 }
 
 // Schema returns the catalog the handle was prepared for.
