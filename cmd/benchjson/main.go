@@ -16,9 +16,15 @@
 //
 // re-measures on the baseline file's own fixture (so the numbers are
 // apples-to-apples regardless of -quick) and exits non-zero when
-// prepared_ns_op or cold_allocs_op regresses more than -tolerance
-// (default 25%) over the committed baseline. Improvements and
-// within-tolerance noise pass. No BENCH file is written in this mode.
+// prepared_ns_op, prepared_allocs_op or cold_allocs_op regresses more
+// than -tolerance (default 25%) over the committed baseline.
+// Improvements and within-tolerance noise pass. No BENCH file is
+// written in this mode.
+//
+// -cpuprofile and -memprofile write pprof profiles of the prepared-path
+// benchmark loop, so perf PRs can attach evidence:
+//
+//	go run ./cmd/benchjson -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -50,6 +57,7 @@ type report struct {
 	Speedup     float64 `json:"speedup"`
 	ColdAllocs  int64   `json:"cold_allocs_op"`
 	PrepAllocs  int64   `json:"prepared_allocs_op"`
+	PrepBytes   int64   `json:"prepared_bytes_op"`
 	BatchNsOp   int64   `json:"matchall_ns_per_source"`
 	BatchSizeN  int     `json:"matchall_sources"`
 	BatchPar    int     `json:"matchall_parallelism"`
@@ -65,9 +73,12 @@ type fixture struct {
 func main() {
 	quick := flag.Bool("quick", false, "reduced fixture for smoke runs")
 	outDir := flag.String("out", ".", "directory to write BENCH_<date>.json into")
+	suffix := flag.String("suffix", "", "optional filename suffix (BENCH_<date>-<suffix>.json), for recording more than one point per day")
 	comparePath := flag.String("compare", "", "baseline BENCH_<date>.json: gate on regressions instead of recording")
 	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed fractional regression before failing")
 	timeTolerance := flag.Float64("time-tolerance", 0, "with -compare: wider tolerance for wall-clock metrics, which vary across hardware (0 = same as -tolerance)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the prepared-match loop to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile (taken after the prepared-match loop) to this file")
 	flag.Parse()
 
 	var baseline *report
@@ -113,12 +124,19 @@ func main() {
 			exitOn(err)
 		}
 	})
+	// Profile a separate run of the same hot loop *after* the
+	// measurement, so profiling overhead never leaks into the recorded
+	// (and -compare-gated) numbers while the profile still covers
+	// exactly the prepared path.
+	if *cpuProfile != "" || *memProfile != "" {
+		profileHotLoop(prepared, ds, prep.N, *cpuProfile, *memProfile)
+	}
 
 	if baseline != nil {
 		if *timeTolerance == 0 {
 			*timeTolerance = *tolerance
 		}
-		os.Exit(compare(baseline, prep.NsPerOp(), cold.AllocsPerOp(), *timeTolerance, *tolerance))
+		os.Exit(compare(baseline, prep.NsPerOp(), prep.AllocsPerOp(), cold.AllocsPerOp(), *timeTolerance, *tolerance))
 	}
 
 	// Batch throughput: the same source fanned as a MatchAll batch
@@ -161,13 +179,18 @@ func main() {
 			float64(max64(prep.NsPerOp(), 1)),
 		ColdAllocs:  cold.AllocsPerOp(),
 		PrepAllocs:  prep.AllocsPerOp(),
+		PrepBytes:   prep.AllocedBytesPerOp(),
 		BatchNsOp:   batchRes.NsPerOp() / batch,
 		BatchSizeN:  batch,
 		BatchPar:    batchPar,
 		ResultBytes: len(wire),
 	}
 
-	path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%s.json", r.Date))
+	name := r.Date
+	if *suffix != "" {
+		name += "-" + *suffix
+	}
+	path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%s.json", name))
 	out, err := json.MarshalIndent(r, "", "  ")
 	exitOn(err)
 	out = append(out, '\n')
@@ -175,20 +198,21 @@ func main() {
 	fmt.Printf("wrote %s\n%s", path, out)
 }
 
-// compare gates the two regression-prone headline metrics against the
+// compare gates the regression-prone headline metrics against the
 // baseline: prepared_ns_op (the steady-state serving cost, gated with
-// timeTol because wall clock shifts with hardware) and cold_allocs_op
-// (allocation discipline of the full pipeline, hardware-independent and
-// gated with the strict allocTol). Returns the process exit code: 0
-// within tolerance, 1 regressed.
-func compare(baseline *report, preparedNs, coldAllocs int64, timeTol, allocTol float64) int {
+// timeTol because wall clock shifts with hardware) plus
+// prepared_allocs_op and cold_allocs_op (allocation discipline of the
+// hot path and the full pipeline, hardware-independent and gated with
+// the strict allocTol). Returns the process exit code: 0 within
+// tolerance, 1 regressed.
+func compare(baseline *report, preparedNs, preparedAllocs, coldAllocs int64, timeTol, allocTol float64) int {
 	fmt.Printf("comparing against baseline %s (%s, %s/%s, fixture %d/%d rows)\n",
 		baseline.Date, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,
 		baseline.Fixture.Rows, baseline.Fixture.TargetRows)
 	failed := false
 	check := func(metric string, base, now int64, tolerance float64) {
 		if base <= 0 {
-			fmt.Printf("  %-16s baseline %d — skipped\n", metric, base)
+			fmt.Printf("  %-18s baseline %d — skipped\n", metric, base)
 			return
 		}
 		ratio := float64(now)/float64(base) - 1
@@ -197,9 +221,10 @@ func compare(baseline *report, preparedNs, coldAllocs int64, timeTol, allocTol f
 			verdict = fmt.Sprintf("REGRESSED beyond %.0f%%", tolerance*100)
 			failed = true
 		}
-		fmt.Printf("  %-16s %12d -> %12d  (%+.1f%%)  %s\n", metric, base, now, ratio*100, verdict)
+		fmt.Printf("  %-18s %12d -> %12d  (%+.1f%%)  %s\n", metric, base, now, ratio*100, verdict)
 	}
 	check("prepared_ns_op", baseline.PreparedNs, preparedNs, timeTol)
+	check("prepared_allocs_op", baseline.PrepAllocs, preparedAllocs, allocTol)
 	check("cold_allocs_op", baseline.ColdAllocs, coldAllocs, allocTol)
 	if failed {
 		fmt.Println("bench regression gate: FAIL")
@@ -207,6 +232,37 @@ func compare(baseline *report, preparedNs, coldAllocs int64, timeTol, allocTol f
 	}
 	fmt.Println("bench regression gate: PASS")
 	return 0
+}
+
+// profileHotLoop re-runs the prepared-match loop for n iterations (at
+// least 10) under the requested pprof collectors. It runs outside every
+// measurement so the profiles are evidence, not interference.
+func profileHotLoop(prepared *ctxmatch.Target, ds *datagen.Dataset, n int, cpuPath, memPath string) {
+	if n < 10 {
+		n = 10
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			exitOn(f.Close())
+			fmt.Fprintf(os.Stderr, "benchjson: wrote CPU profile to %s\n", cpuPath)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		_, err := prepared.Match(context.Background(), ds.Source)
+		exitOn(err)
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		exitOn(err)
+		runtime.GC()
+		exitOn(pprof.WriteHeapProfile(f))
+		exitOn(f.Close())
+		fmt.Fprintf(os.Stderr, "benchjson: wrote allocation profile to %s\n", memPath)
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -86,9 +86,9 @@ func TestRunTextOutput(t *testing.T) {
 func TestUsageErrorsExitTwo(t *testing.T) {
 	src, tgt := writeFixtureCSVs(t)
 	cases := [][]string{
-		{},                           // no schemas at all
-		{"-source", src},             // missing -target
-		{"-no-such-flag"},            // unknown flag
+		{},                // no schemas at all
+		{"-source", src},  // missing -target
+		{"-no-such-flag"}, // unknown flag
 		{"-source", src, "-target", tgt, "-json", "-sql"}, // contradictory flags
 	}
 	for _, args := range cases {

@@ -9,7 +9,7 @@ package constraints
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"ctxmatch/internal/relational"
@@ -158,7 +158,7 @@ func (s *Set) String() string {
 	for _, c := range s.CFKs {
 		lines = append(lines, c.String())
 	}
-	sort.Strings(lines)
+	slices.Sort(lines)
 	return strings.Join(lines, "\n")
 }
 
@@ -180,7 +180,7 @@ func sameSet(a, b []string) bool {
 	}
 	as := append([]string(nil), a...)
 	bs := append([]string(nil), b...)
-	sort.Strings(as)
-	sort.Strings(bs)
+	slices.Sort(as)
+	slices.Sort(bs)
 	return sameList(as, bs)
 }

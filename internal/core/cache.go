@@ -5,22 +5,52 @@ import (
 
 	"ctxmatch/internal/match"
 	"ctxmatch/internal/relational"
+	"ctxmatch/internal/tokenize"
 )
 
+// targetArtifacts is everything PrepareTarget pins for one catalog: the
+// shared frozen gram dictionary, the ID-keyed column feature layer, and
+// (under TgtClassInfer) the trained per-domain target classifiers in
+// both live and compiled-frozen form. All fields are immutable once the
+// struct is published and therefore safe for concurrent readers.
+type targetArtifacts struct {
+	dict  *tokenize.Dict
+	feats *match.TargetFeatures
+	tcls  *targetClassifiers
+	fcls  *frozenTargetClassifiers
+}
+
+// buildTargetArtifacts performs the full target-side precompute: column
+// features interned into a fresh dictionary, classifier training and
+// freezing into the same ID space, then the dictionary freeze that
+// makes the whole set shareable.
+func buildTargetArtifacts(eng *match.Engine, tgt *relational.Schema, needCls bool) *targetArtifacts {
+	a := &targetArtifacts{dict: tokenize.NewDict()}
+	a.feats = eng.PrecomputeTargetInto(tgt, a.dict)
+	if needCls {
+		a.tcls = newTargetClassifiers(tgt)
+		a.fcls = a.tcls.freeze(a.dict)
+	}
+	a.dict.Freeze()
+	return a
+}
+
 // TargetCache memoizes the artifacts of a matching run that depend only
-// on the target schema — the trained per-domain target classifiers of
-// TgtClassInfer (Figure 7) and the precomputed column features of the
-// standard matcher — so a long-lived Matcher serving many sources
-// against one catalog pays for them once instead of once per source
-// table per call. Entries are keyed by schema identity (pointer): the
-// sample instance is assumed immutable while cached, which is the same
-// contract ContextMatch already places on its inputs mid-run.
+// on the target schema — the shared gram dictionary, the precomputed
+// column features of the standard matcher, and the trained + frozen
+// per-domain target classifiers of TgtClassInfer (Figure 7) — so a
+// long-lived Matcher serving many sources against one catalog pays for
+// them once instead of once per source table per call. Entries are
+// keyed by schema identity (pointer): the sample instance is assumed
+// immutable while cached, which is the same contract ContextMatch
+// already places on its inputs mid-run.
 //
 // A TargetCache is safe for concurrent use by multiple goroutines.
 type TargetCache struct {
 	mu sync.Mutex
 	// engine the features were computed under; a different engine
-	// invalidates the feature layer (classifiers are engine-independent).
+	// invalidates the artifact set (feature vectors depend on its n-gram
+	// cap, and the dictionary is shared with the classifiers).
 	engine  *match.Engine
 	entries map[*relational.Schema]*targetEntry
 	// order tracks insertion order for bounded FIFO eviction, so a
@@ -37,10 +67,13 @@ type TargetCache struct {
 const maxTargetEntries = 16
 
 type targetEntry struct {
-	once        sync.Once
-	classifiers *targetClassifiers
-	clsOnce     sync.Once
-	features    *match.TargetFeatures
+	once sync.Once
+	arts *targetArtifacts
+	// clsOnce upgrades an entry first built without classifiers (a
+	// NaiveInfer/SrcClassInfer matcher sharing the cache with a
+	// TgtClassInfer one). The upgrade freezes into its own dictionary —
+	// classifier IDs never mix with feature IDs anyway.
+	clsOnce sync.Once
 }
 
 // NewTargetCache returns an empty cache.
@@ -53,7 +86,7 @@ func (c *TargetCache) entry(eng *match.Engine, tgt *relational.Schema) *targetEn
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.engine != eng {
-		// The feature layer is engine-specific (n-gram caps); start over
+		// The artifact set is engine-specific (n-gram caps); start over
 		// rather than serve stale vectors.
 		c.engine = eng
 		c.entries = map[*relational.Schema]*targetEntry{}
@@ -73,28 +106,43 @@ func (c *TargetCache) entry(eng *match.Engine, tgt *relational.Schema) *targetEn
 	return e
 }
 
-// featuresFor returns the shared target feature layer for tgt, computing
-// it at most once per (engine, schema). A nil receiver computes fresh
-// without caching, mirroring classifiersFor.
-func (c *TargetCache) featuresFor(eng *match.Engine, tgt *relational.Schema) *match.TargetFeatures {
+// artifactsFor returns the pinned artifact set for tgt, computing it at
+// most once per (engine, schema). needCls asks for trained + frozen
+// target classifiers (TgtClassInfer); an entry cached without them is
+// upgraded in place, still at most once. A nil receiver computes fresh
+// without caching.
+func (c *TargetCache) artifactsFor(eng *match.Engine, tgt *relational.Schema, needCls bool) *targetArtifacts {
 	if c == nil {
-		return eng.PrecomputeTarget(tgt)
+		return buildTargetArtifacts(eng, tgt, needCls)
 	}
 	e := c.entry(eng, tgt)
-	e.once.Do(func() { e.features = eng.PrecomputeTarget(tgt) })
-	return e.features
+	e.once.Do(func() { e.arts = buildTargetArtifacts(eng, tgt, needCls) })
+	c.mu.Lock()
+	arts := e.arts
+	c.mu.Unlock()
+	if needCls && arts.fcls == nil {
+		e.clsOnce.Do(func() {
+			tcls := newTargetClassifiers(tgt)
+			d := tokenize.NewDict()
+			fcls := tcls.freeze(d)
+			d.Freeze()
+			// Publish a fresh artifact struct so concurrent readers of the
+			// old one never observe mutation.
+			c.mu.Lock()
+			e.arts = &targetArtifacts{dict: e.arts.dict, feats: e.arts.feats, tcls: tcls, fcls: fcls}
+			c.mu.Unlock()
+		})
+		c.mu.Lock()
+		arts = e.arts
+		c.mu.Unlock()
+	}
+	return arts
 }
 
-// classifiersFor returns the trained TgtClassInfer classifiers for tgt,
-// computing them at most once per schema. The returned value is
-// read-only after training and safe to share across goroutines.
-func (c *TargetCache) classifiersFor(eng *match.Engine, tgt *relational.Schema) *targetClassifiers {
-	if c == nil {
-		return newTargetClassifiers(tgt)
-	}
-	e := c.entry(eng, tgt)
-	e.clsOnce.Do(func() { e.classifiers = newTargetClassifiers(tgt) })
-	return e.classifiers
+// featuresFor returns the shared target feature layer for tgt; see
+// artifactsFor.
+func (c *TargetCache) featuresFor(eng *match.Engine, tgt *relational.Schema) *match.TargetFeatures {
+	return c.artifactsFor(eng, tgt, false).feats
 }
 
 // Forget drops the cached artifacts for tgt, for callers that mutate a

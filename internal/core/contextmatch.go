@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -59,22 +59,31 @@ func (r *Result) ContextualMatches() []match.Match {
 
 // runState carries the per-call shared artifacts of one ContextMatch
 // run: the context plus the prepared target-schema artifacts (resolved
-// engine, feature layer, trained target classifiers) that every
-// per-table worker reads but none mutates.
+// engine, feature layer, frozen target classifiers) that every
+// per-table worker reads but none mutates, and the per-table column
+// worker budget.
 type runState struct {
 	ctx   context.Context
 	tgt   *relational.Schema
 	opt   Options
 	eng   *match.Engine
 	feats *match.TargetFeatures
-	tcls  *targetClassifiers
+	fcls  *frozenTargetClassifiers
+	// cols is how many goroutines each table's source-side work (column
+	// feature extraction, normalization, candidate-view scoring) may
+	// fan across: the share of opt.Parallelism left over after the
+	// table-level fan-out.
+	cols int
 }
 
 // newRunState binds a context to the pinned artifacts of a prepared
 // target; all resolution and training already happened in
 // PrepareTarget.
-func newRunState(ctx context.Context, pt *PreparedTarget) *runState {
-	return &runState{ctx: ctx, tgt: pt.tgt, opt: pt.opt, eng: pt.eng, feats: pt.feats, tcls: pt.tcls}
+func newRunState(ctx context.Context, pt *PreparedTarget, cols int) *runState {
+	return &runState{
+		ctx: ctx, tgt: pt.tgt, opt: pt.opt, eng: pt.eng,
+		feats: pt.arts.feats, fcls: pt.arts.fcls, cols: cols,
+	}
 }
 
 // tableResult is the output of lines 3-11 of Figure 5 for one source
@@ -126,10 +135,18 @@ func ContextMatch(ctx context.Context, src, tgt *relational.Schema, opt Options)
 // the caller began the work Elapsed should account for.
 func contextMatchPrepared(ctx context.Context, src *relational.Schema, pt *PreparedTarget, start time.Time) (*Result, error) {
 	opt := pt.opt
-	run := newRunState(ctx, pt)
+	// Split the worker budget between table-level fan-out and per-table
+	// column/candidate fan-out: a single-table source on an 8-way budget
+	// still uses all 8 workers, inside the table.
+	budget := opt.Parallelism
+	if budget < 1 {
+		budget = 1
+	}
+	tableWorkers := opt.workers(len(src.Tables))
+	run := newRunState(ctx, pt, budget/tableWorkers)
 
 	outs := make([]tableResult, len(src.Tables))
-	if workers := opt.workers(len(src.Tables)); workers <= 1 {
+	if workers := tableWorkers; workers <= 1 {
 		for i, rs := range src.Tables {
 			outs[i] = run.matchTable(rs)
 			if outs[i].err != nil {
@@ -204,13 +221,14 @@ func (r *runState) matchTable(rs *relational.Table) tableResult {
 	if err := r.ctx.Err(); err != nil {
 		return tableResult{err: err}
 	}
-	bound := r.eng.BindWithFeatures(rs, r.tgt, r.feats)
+	bound := r.eng.BindParallel(rs, r.tgt, r.feats, r.cols)
+	defer bound.Release()
 	protos := bound.StandardMatches(r.opt.Tau) // line 4
 	if err := r.ctx.Err(); err != nil {
 		return tableResult{err: err}
 	}
 
-	cands := inferCandidateViews(rs, r.tgt, len(protos) > 0, r.opt, r.tcls) // line 5
+	cands := inferCandidateViews(rs, r.tgt, len(protos) > 0, r.opt, r.fcls) // line 5
 	var fams []ViewFamily
 	for _, c := range cands {
 		if c.Family != nil {
@@ -225,26 +243,86 @@ func (r *runState) matchTable(rs *relational.Table) tableResult {
 // condition (lines 6-11 of Figure 5). A match is scored only as a
 // conditioned version of a StandardMatch output. Cancellation is checked
 // once per candidate view, the granularity at which work is O(|protos| ·
-// |sample|).
+// |sample|). With a column worker budget the candidates fan out across
+// goroutines — each worker scoring through its own Bound clone — and the
+// per-candidate outputs merge in candidate order, so the result is
+// byte-identical at any parallelism.
 func (r *runState) scoreCandidates(rs *relational.Table, bound *match.Bound, protos []match.Match, cands []Candidate) ([]ScoredCandidate, error) {
+	workers := r.cols
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers > 1 {
+		return r.scoreCandidatesParallel(rs, bound, protos, cands, workers)
+	}
 	var rl []ScoredCandidate
 	for _, c := range cands {
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
-		view := rs.Select(viewName(rs, c.Cond), c.Cond) // line 7
-		if view.Len() == 0 {
-			continue
+		rl = append(rl, scoreOneCandidate(rs, bound, protos, c)...)
+	}
+	return rl, nil
+}
+
+// scoreOneCandidate materializes one candidate view and rescores every
+// prototype under it (lines 7-9 of Figure 5).
+func scoreOneCandidate(rs *relational.Table, bound *match.Bound, protos []match.Match, c Candidate) []ScoredCandidate {
+	view := rs.Select(viewName(rs, c.Cond), c.Cond) // line 7
+	if view.Len() == 0 {
+		return nil
+	}
+	rl := make([]ScoredCandidate, 0, len(protos))
+	for _, proto := range protos { // line 8
+		score, conf := bound.Score(view, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
+		m := proto // line 9: m' is m with RS replaced by Vc
+		m.Source = view
+		m.Cond = c.Cond
+		m.Score = score
+		m.Confidence = conf
+		rl = append(rl, ScoredCandidate{Match: m, Base: proto})
+	}
+	return rl
+}
+
+// scoreCandidatesParallel fans candidate views across workers via the
+// shared index pool. Scoring goes through pooled Bound clones (shared
+// normalization statistics and target features, private view-feature
+// caches), results land in per-candidate slots, and the merge walks the
+// slots in candidate order — so the output is byte-identical to the
+// sequential loop. On cancellation every unscored candidate records
+// ctx.Err() and the lowest-index error is reported, matching the
+// sequential path.
+func (r *runState) scoreCandidatesParallel(rs *relational.Table, bound *match.Bound, protos []match.Match, cands []Candidate, workers int) ([]ScoredCandidate, error) {
+	slots := make([][]ScoredCandidate, len(cands))
+	errs := make([]error, len(cands))
+	var mu sync.Mutex
+	var clones []*match.Bound
+	pool := sync.Pool{New: func() any {
+		c := bound.Clone()
+		mu.Lock()
+		clones = append(clones, c)
+		mu.Unlock()
+		return c
+	}}
+	match.ForEachIndex(len(cands), workers, func(i int) {
+		if err := r.ctx.Err(); err != nil {
+			errs[i] = err
+			return
 		}
-		for _, proto := range protos { // line 8
-			score, conf := bound.Score(view, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
-			m := proto // line 9: m' is m with RS replaced by Vc
-			m.Source = view
-			m.Cond = c.Cond
-			m.Score = score
-			m.Confidence = conf
-			rl = append(rl, ScoredCandidate{Match: m, Base: proto})
+		clone := pool.Get().(*match.Bound)
+		slots[i] = scoreOneCandidate(rs, clone, protos, cands[i])
+		pool.Put(clone)
+	})
+	for _, c := range clones {
+		c.Release()
+	}
+	var rl []ScoredCandidate
+	for i := range cands {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		rl = append(rl, slots[i]...)
 	}
 	return rl, nil
 }
@@ -425,7 +503,7 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 		for k := range groups {
 			keys = append(keys, k)
 		}
-		sort.Strings(keys)
+		slices.Sort(keys)
 		var bestImp float64
 		var bestSize int
 		for _, k := range keys {
@@ -506,9 +584,10 @@ func conjunctiveStages(r *runState, res *Result) error {
 // with the view's own condition.
 func (r *runState) stageMatches(view *relational.Table, used map[string]bool, protos []match.Match) ([]match.Match, error) {
 	base := view.Root()
-	bound := r.eng.BindWithFeatures(base, r.tgt, r.feats)
+	bound := r.eng.BindParallel(base, r.tgt, r.feats, r.cols)
+	defer bound.Release()
 	var rl []ScoredCandidate
-	for _, c := range inferCandidateViews(view, r.tgt, len(protos) > 0, r.opt, r.tcls) {
+	for _, c := range inferCandidateViews(view, r.tgt, len(protos) > 0, r.opt, r.fcls) {
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -576,7 +655,7 @@ func selectRefinements(protos []match.Match, rl []ScoredCandidate, opt Options) 
 	for k := range groups {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	var winners []*group
 	var bestImp float64
 	for _, k := range keys {
@@ -606,8 +685,9 @@ func selectRefinements(protos []match.Match, rl []ScoredCandidate, opt Options) 
 }
 
 func appendFamily(fams []ViewFamily, f ViewFamily) []ViewFamily {
-	for _, existing := range fams {
-		if existing.key() == f.key() {
+	fk := f.key()
+	for i := range fams {
+		if fams[i].key() == fk {
 			return fams
 		}
 	}

@@ -1,13 +1,12 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
 	"slices"
-	"sort"
 	"strings"
 
-	"ctxmatch/internal/classify"
 	"ctxmatch/internal/relational"
 	"ctxmatch/internal/stats"
 )
@@ -40,6 +39,10 @@ type ViewFamily struct {
 	Evidence string
 	// Significance is Φ((c-µ)/σ) from the §3.2.2 test.
 	Significance float64
+	// cachedKey memoizes key(); it travels with copies, so families that
+	// flow through candidate lists and result merging render their
+	// dedup key once.
+	cachedKey string
 }
 
 // Conditions returns one condition per view in the family.
@@ -66,21 +69,27 @@ func (f ViewFamily) String() string {
 }
 
 // labelClassifier abstracts "the classifier Ch" of Figure 6: something
-// that can be trained to predict a label (a categorical value group) from
-// the value of attribute h. SrcClassInfer and TgtClassInfer provide the
-// two implementations of §3.2.3 and §3.2.4.
+// that can be trained to predict a label (a categorical value group,
+// addressed by its dense index) from the value of attribute h. Training
+// and prediction rows are addressed by index into the training/test
+// table handed to the factory, which lets implementations precompute
+// per-row features once per run. SrcClassInfer and TgtClassInfer
+// provide the two implementations of §3.2.3 and §3.2.4.
 type labelClassifier interface {
-	// Train consumes one (h-value, label) training pair.
-	Train(v relational.Value, label string)
+	// Train consumes one training pair: row of the training table, its
+	// h-value, and its group index.
+	Train(row int, v relational.Value, group int)
 	// Finish is called once after all training pairs, before Predict.
 	Finish()
-	// Predict returns a label for an unseen h-value.
-	Predict(v relational.Value) string
+	// Predict returns a group index for a test-table row (negative when
+	// the classifier cannot produce one).
+	Predict(row int, v relational.Value) int
 }
 
-// classifierFactory builds a fresh labelClassifier for attribute h of
-// table t. It is re-invoked on every (re)training pass of the merge loop.
-type classifierFactory func(t *relational.Table, h string) labelClassifier
+// classifierFactory builds a fresh labelClassifier for attribute h over
+// the given train/test split. It is re-invoked on every (re)training
+// pass of the merge loop.
+type classifierFactory func(train, test *relational.Table, h string) labelClassifier
 
 // clusterConfig carries the fixed parameters of ClusteredViewGen.
 type clusterConfig struct {
@@ -95,8 +104,7 @@ type clusterConfig struct {
 // §3.3 when cfg.earlyDisjuncts is set. It returns every view family whose
 // classifier beat the naive baseline at significance T.
 func clusteredViewGen(r *relational.Table, cfg clusterConfig, rng *rand.Rand) []ViewFamily {
-	nonCat := r.NonCategoricalAttrs()
-	cat := r.CategoricalAttrs()
+	cat, nonCat := r.PartitionAttrs()
 	if len(nonCat) == 0 || len(cat) == 0 || r.Len() < 4 {
 		return nil
 	}
@@ -199,14 +207,14 @@ func (r *testResult) topErrorPair() (int, int) {
 	if len(all) == 0 {
 		return -1, -1
 	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].norm != all[b].norm {
-			return all[a].norm > all[b].norm
+	slices.SortFunc(all, func(a, b scored) int {
+		if a.norm != b.norm {
+			return cmp.Compare(b.norm, a.norm)
 		}
-		if all[a].pair[0] != all[b].pair[0] {
-			return all[a].pair[0] < all[b].pair[0]
+		if a.pair[0] != b.pair[0] {
+			return cmp.Compare(a.pair[0], b.pair[0])
 		}
-		return all[a].pair[1] < all[b].pair[1]
+		return cmp.Compare(a.pair[1], b.pair[1])
 	})
 	return all[0].pair[0], all[0].pair[1]
 }
@@ -214,57 +222,69 @@ func (r *testResult) topErrorPair() (int, int) {
 // trainAndTest performs doTraining and doTesting of Figure 6 for the
 // given grouping of l's values. Group indices serve as classification
 // labels. Tuples whose l value was unseen in training are skipped, as
-// are NULLs.
+// are NULLs. Values key the group map directly (Value is comparable),
+// so the per-row lookups allocate nothing.
 func trainAndTest(train, test *relational.Table, h, l string, groups []ValueGroup, factory classifierFactory) testResult {
-	labelOf := map[string]int{}
+	labelOf := make(map[relational.Value]int, len(groups))
 	for gi, g := range groups {
 		for _, v := range g {
-			labelOf[v.Key()] = gi
+			labelOf[v.MapKey()] = gi
 		}
 	}
-	cls := factory(train, h)
-	naive := classify.NewMajority()
+	cls := factory(train, test, h)
+	// The CNaive baseline of §3.2.2 reduces to counting group frequencies:
+	// its success probability is the majority group's training share.
+	naiveCounts := make([]int, len(groups))
+	trained := 0
 
 	hi, li := train.AttrIndex(h), train.AttrIndex(l)
-	for _, row := range train.Rows {
+	for ri, row := range train.Rows {
 		lv := row[li]
 		if lv.IsNull() {
 			continue
 		}
-		gi, ok := labelOf[lv.Key()]
+		gi, ok := labelOf[lv.MapKey()]
 		if !ok {
 			continue
 		}
-		label := groupLabel(gi)
-		cls.Train(row[hi], label)
-		naive.Train(relational.Null, label)
+		cls.Train(ri, row[hi], gi)
+		naiveCounts[gi]++
+		trained++
 	}
 	cls.Finish()
 
 	res := testResult{
-		naiveP: naive.P(),
 		errors: map[[2]int]int{},
 		freq:   map[int]int{},
 	}
+	if trained > 0 {
+		best := 0
+		for _, n := range naiveCounts {
+			if n > best {
+				best = n
+			}
+		}
+		res.naiveP = float64(best) / float64(trained)
+	}
 	hi, li = test.AttrIndex(h), test.AttrIndex(l)
-	for _, row := range test.Rows {
+	for ri, row := range test.Rows {
 		lv := row[li]
 		if lv.IsNull() {
 			continue
 		}
-		want, ok := labelOf[lv.Key()]
+		want, ok := labelOf[lv.MapKey()]
 		if !ok {
 			continue
 		}
 		res.ntest++
 		res.freq[want]++
-		got := parseGroupLabel(cls.Predict(row[hi]))
+		got := cls.Predict(ri, row[hi])
 		if got == want {
 			res.correct++
 			continue
 		}
 		if got < 0 {
-			got = want + 1 // count unparseable predictions as generic errors
+			got = want + 1 // count unpredictable rows as generic errors
 			if got >= len(groups) {
 				got = want - 1
 			}
@@ -304,40 +324,57 @@ func cloneGroups(gs []ValueGroup) []ValueGroup {
 
 // dedupFamilies collapses families with identical (table, attr, groups),
 // keeping the highest significance. Different evidence attributes h often
-// certify the same partition; the user needs it only once.
+// certify the same partition; the user needs it only once. Keys are
+// rendered once per family, not once per comparison.
 func dedupFamilies(fams []ViewFamily) []ViewFamily {
 	bestByKey := map[string]int{}
 	var out []ViewFamily
-	for _, f := range fams {
-		key := f.key()
+	var keys []string
+	for fi := range fams {
+		key := fams[fi].key() // cached in the element, and in every copy of it
 		if i, ok := bestByKey[key]; ok {
-			if f.Significance > out[i].Significance {
-				out[i] = f
+			if fams[fi].Significance > out[i].Significance {
+				out[i] = fams[fi]
 			}
 			continue
 		}
 		bestByKey[key] = len(out)
-		out = append(out, f)
+		out = append(out, fams[fi])
+		keys = append(keys, key)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Attr != out[j].Attr {
-			return out[i].Attr < out[j].Attr
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		if out[a].Attr != out[b].Attr {
+			return strings.Compare(out[a].Attr, out[b].Attr)
 		}
-		return out[i].key() < out[j].key()
+		return strings.Compare(keys[a], keys[b])
 	})
-	return out
+	sorted := make([]ViewFamily, len(out))
+	for i, j := range order {
+		sorted[i] = out[j]
+	}
+	return sorted
 }
 
-func (f ViewFamily) key() string {
+// key renders the family's identity for deduplication, memoized on
+// first use.
+func (f *ViewFamily) key() string {
+	if f.cachedKey != "" {
+		return f.cachedKey
+	}
 	parts := make([]string, len(f.Groups))
 	for i, g := range f.Groups {
 		vs := make([]string, len(g))
 		for j, v := range g {
 			vs[j] = v.Key()
 		}
-		sort.Strings(vs)
+		slices.Sort(vs)
 		parts[i] = strings.Join(vs, ",")
 	}
-	sort.Strings(parts)
-	return f.Table.Name + "\x00" + f.Attr + "\x00" + strings.Join(parts, "|")
+	slices.Sort(parts)
+	f.cachedKey = f.Table.Name + "\x00" + f.Attr + "\x00" + strings.Join(parts, "|")
+	return f.cachedKey
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"strings"
 	"sync/atomic"
 
 	"ctxmatch/internal/classify"
 	"ctxmatch/internal/relational"
+	"ctxmatch/internal/tokenize"
 )
 
 // Candidate is one candidate view condition produced by
@@ -24,13 +26,14 @@ func InferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches
 	return inferCandidateViews(r, tgt, hasMatches, opt, nil)
 }
 
-// inferCandidateViews is InferCandidateViews with an optional pre-trained
-// target classifier set. ContextMatch trains tcls once per run (or takes
-// it from the target cache) and shares it across all per-table workers;
-// nil trains fresh, which the one-shot entry points rely on. Every call
-// derives its own RNG from opt.Seed, so concurrent per-table inference
-// stays deterministic regardless of goroutine interleaving.
-func inferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches bool, opt Options, tcls *targetClassifiers) []Candidate {
+// inferCandidateViews is InferCandidateViews with an optional pre-built
+// frozen target classifier set. ContextMatch compiles fcls once per
+// prepared target (or takes it from the target cache) and shares it
+// across all per-table workers; nil trains and freezes fresh, which the
+// one-shot entry points rely on. Every call derives its own RNG from
+// opt.Seed, so concurrent per-table inference stays deterministic
+// regardless of goroutine interleaving.
+func inferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches bool, opt Options, fcls *frozenTargetClassifiers) []Candidate {
 	if !hasMatches {
 		return nil
 	}
@@ -46,14 +49,15 @@ func inferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches
 			factory:        srcClassifierFactory,
 		}, rng))
 	case TgtClassInfer:
-		if tcls == nil {
-			tcls = newTargetClassifiers(tgt)
+		if fcls == nil {
+			fcls = newTargetClassifiers(tgt).freezeFresh()
 		}
+		tagger := newTagger(fcls)
 		return candidatesFromFamilies(clusteredViewGen(r, clusterConfig{
 			threshold:      opt.SignificanceT,
 			trainFrac:      opt.TrainFrac,
 			earlyDisjuncts: opt.EarlyDisjuncts,
-			factory:        tcls.factory,
+			factory:        tagger.factory,
 		}, rng))
 	default:
 		return nil
@@ -111,26 +115,34 @@ func candidatesFromFamilies(fams []ViewFamily) []Candidate {
 
 func dedupCandidates(cands []Candidate) []Candidate {
 	seen := map[string]bool{}
-	out := cands[:0]
+	type keyed struct {
+		key string
+		c   Candidate
+	}
+	all := make([]keyed, 0, len(cands))
 	for _, c := range cands {
-		key := c.Cond.String()
+		key := c.Cond.String() // rendered once per candidate, reused by the sort
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		out = append(out, c)
+		all = append(all, keyed{key, c})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].Cond.String() < out[j].Cond.String()
-	})
+	slices.SortStableFunc(all, func(a, b keyed) int { return strings.Compare(a.key, b.key) })
+	out := cands[:0]
+	for _, k := range all {
+		out = append(out, k.c)
+	}
 	return out
 }
 
 // srcClassifierFactory implements SrcClassInfer's Ch (§3.2.3): a Naive
 // Bayes 3-gram classifier for text attributes, a Gaussian classifier for
-// numeric attributes, trained directly on the source values of h.
-func srcClassifierFactory(t *relational.Table, h string) labelClassifier {
-	a, _ := t.Attr(h)
+// numeric attributes, trained directly on the source values of h. Group
+// indices are adapted to the classify package's string labels via
+// groupLabel/parseGroupLabel.
+func srcClassifierFactory(train, _ *relational.Table, h string) labelClassifier {
+	a, _ := train.Attr(h)
 	return &srcClassifier{cls: classify.ForType(a.Type)}
 }
 
@@ -138,11 +150,11 @@ type srcClassifier struct {
 	cls classify.Classifier
 }
 
-func (s *srcClassifier) Train(v relational.Value, label string) { s.cls.Train(v, label) }
+func (s *srcClassifier) Train(_ int, v relational.Value, g int) { s.cls.Train(v, groupLabel(g)) }
 func (s *srcClassifier) Finish()                                {}
-func (s *srcClassifier) Predict(v relational.Value) string {
+func (s *srcClassifier) Predict(_ int, v relational.Value) int {
 	label, _ := s.cls.Classify(v)
-	return label
+	return parseGroupLabel(label)
 }
 
 // targetClassifiers is the C_D^T infrastructure of Figure 7
@@ -211,100 +223,171 @@ func (tc *targetClassifiers) domains() int {
 	return len(tc.byDomain)
 }
 
-// classify tags a source value with the target attribute it most
-// resembles, e.g. "book.title". Values in domains with no target
-// classifier tag as "".
-func (tc *targetClassifiers) classify(v relational.Value, d relational.Domain) string {
-	cls, ok := tc.byDomain[d]
-	if !ok {
-		return ""
+// frozenTargetClassifiers is the compiled, immutable form of
+// targetClassifiers: one frozen classifier per value domain, indexed by
+// relational.Domain, safe to share across every per-table worker of
+// every request against the prepared target. Tagging a value is a
+// zero-allocation slice walk (classify.FrozenClassifier) returning a
+// dense label index instead of a "Table.attr" string.
+type frozenTargetClassifiers struct {
+	byDomain [relational.DomainBool + 1]classify.FrozenClassifier
+}
+
+// freeze compiles every trained per-domain classifier, interning Naive
+// Bayes vocabularies into d (which must still be building).
+func (tc *targetClassifiers) freeze(d *tokenize.Dict) *frozenTargetClassifiers {
+	f := &frozenTargetClassifiers{}
+	for dom, cls := range tc.byDomain {
+		f.byDomain[dom] = classify.Freeze(cls, d)
 	}
-	tag, _ := cls.Classify(v)
-	return tag
+	return f
+}
+
+// freezeFresh is freeze into a private dictionary, for one-shot callers
+// with no prepared target.
+func (tc *targetClassifiers) freezeFresh() *frozenTargetClassifiers {
+	d := tokenize.NewDict()
+	f := tc.freeze(d)
+	d.Freeze()
+	return f
+}
+
+// noTag marks a row whose domain has no target classifier (or an
+// untrained one) — the live pipeline's "" tag.
+const noTag = int32(-1)
+
+// tgtTagger caches, per column, the target-attribute tag of every row —
+// the C_D^T classification of Figure 7 — so each source column is
+// classified exactly once per run instead of once per (h, l) attribute
+// pair per merge-loop iteration. Not safe for concurrent use; every
+// inference call owns one.
+type tgtTagger struct {
+	fcls *frozenTargetClassifiers
+	tags map[tagKey][]int32
+}
+
+type tagKey struct {
+	t    *relational.Table
+	attr string
+}
+
+func newTagger(fcls *frozenTargetClassifiers) *tgtTagger {
+	return &tgtTagger{fcls: fcls, tags: map[tagKey][]int32{}}
+}
+
+// tagsFor returns the per-row tag indices of column h of t, computing
+// them on first use.
+func (tg *tgtTagger) tagsFor(t *relational.Table, h string) []int32 {
+	key := tagKey{t, h}
+	if ts, ok := tg.tags[key]; ok {
+		return ts
+	}
+	out := make([]int32, len(t.Rows))
+	a, _ := t.Attr(h)
+	fc := tg.fcls.byDomain[a.Type.Domain()]
+	hi := t.AttrIndex(h)
+	for ri, row := range t.Rows {
+		out[ri] = noTag
+		if fc != nil {
+			if idx, ok := fc.ClassifyIndex(row[hi]); ok {
+				out[ri] = int32(idx)
+			}
+		}
+	}
+	tg.tags[key] = out
+	return out
 }
 
 // factory builds the TgtClassInfer labelClassifier for attribute h: it
-// tags each training value with its most similar target attribute,
-// accumulates TBag(R.h, R.l) and derives bestCAT (§3.2.4).
-func (tc *targetClassifiers) factory(t *relational.Table, h string) labelClassifier {
-	a, _ := t.Attr(h)
+// tags each training row with its most similar target attribute,
+// accumulates TBag(R.h, R.l) in dense slices and derives bestCAT
+// (§3.2.4). Row tags come precomputed from the tagger.
+func (tg *tgtTagger) factory(train, test *relational.Table, h string) labelClassifier {
+	nTags := 1 // slot 0 is the no-classifier tag
+	a, _ := train.Attr(h)
+	if fc := tg.fcls.byDomain[a.Type.Domain()]; fc != nil {
+		nTags += len(fc.Labels())
+	}
 	return &tgtClassifier{
-		tc:     tc,
-		domain: a.Type.Domain(),
-		tbag:   map[string]map[string]int{},
-		vFreq:  map[string]int{},
-		gFreq:  map[string]int{},
+		trainTags: tg.tagsFor(train, h),
+		testTags:  tg.tagsFor(test, h),
+		gFreq:     make([]int, nTags),
+		tbag:      make([][]int, nTags),
 	}
 }
 
-// tgtClassifier implements doTraining/doTesting for TgtClassInfer.
+// tgtClassifier implements doTraining/doTesting for TgtClassInfer over
+// dense tag and group indices: tbag[tag][group] counts co-occurrences,
+// bestCAT[tag] is the §3.2.4 argmax of acc·prec, and prediction falls
+// back to the majority group for tags unseen in training — exactly the
+// live string-keyed pipeline, minus its map lookups and label parsing.
 type tgtClassifier struct {
-	tc     *targetClassifiers
-	domain relational.Domain
+	trainTags, testTags []int32
 
-	// tbag[g][v] counts pairs (g, v): tag g observed with categorical
-	// label v during training.
-	tbag  map[string]map[string]int
-	vFreq map[string]int
-	gFreq map[string]int
+	// tbag[tagIdx][group] counts pairs; tagIdx is the frozen label index
+	// shifted by one so slot 0 holds the no-classifier tag.
+	tbag  [][]int
+	vFreq []int
+	gFreq []int
 	total int
 
-	bestCAT  map[string]string
-	majority string
+	bestCAT  []int
+	majority int
 }
 
-// Train records the pair (C_D^T.classify(t.h), t.l) into TBag.
-func (c *tgtClassifier) Train(v relational.Value, label string) {
-	g := c.tc.classify(v, c.domain)
-	m := c.tbag[g]
-	if m == nil {
-		m = map[string]int{}
-		c.tbag[g] = m
+// Train records the pair (tag(t.h), t.l) into TBag, addressing the tag
+// by the training row index.
+func (c *tgtClassifier) Train(row int, _ relational.Value, g int) {
+	tag := int(c.trainTags[row]) + 1
+	for g >= len(c.vFreq) {
+		c.vFreq = append(c.vFreq, 0)
 	}
-	m[label]++
-	c.vFreq[label]++
-	c.gFreq[g]++
+	for g >= len(c.tbag[tag]) {
+		c.tbag[tag] = append(c.tbag[tag], 0)
+	}
+	c.tbag[tag][g]++
+	c.vFreq[g]++
+	c.gFreq[tag]++
 	c.total++
 }
 
 // Finish computes bestCAT(g) = argmax_v acc(g,v)·prec(g,v) where
 // acc(g,v)=P(g|v) and prec(g,v)=P(v|g), ties broken in favor of the more
-// common v, then lexicographically for determinism.
+// common v, then by smaller group index for determinism (group labels
+// sort numerically).
 func (c *tgtClassifier) Finish() {
-	c.bestCAT = make(map[string]string, len(c.tbag))
-	c.majority = ""
+	c.majority = -1
 	bestFreq := -1
 	for v, n := range c.vFreq {
-		if n > bestFreq || (n == bestFreq && v < c.majority) {
+		if n > bestFreq {
 			c.majority, bestFreq = v, n
 		}
 	}
-	for g, byV := range c.tbag {
-		best, bestScore, bestN := "", -1.0, -1
+	c.bestCAT = make([]int, len(c.tbag))
+	for tag, byV := range c.tbag {
+		best, bestScore, bestN := -1, -1.0, -1
 		for v, n := range byV {
-			acc := float64(n) / float64(c.vFreq[v])  // P(g|v)
-			prec := float64(n) / float64(c.gFreq[g]) // P(v|g)
+			if n == 0 {
+				continue
+			}
+			acc := float64(n) / float64(c.vFreq[v])    // P(g|v)
+			prec := float64(n) / float64(c.gFreq[tag]) // P(v|g)
 			score := acc * prec
-			switch {
-			case score > bestScore:
+			if score > bestScore || (score == bestScore && c.vFreq[v] > bestN) {
 				best, bestScore, bestN = v, score, c.vFreq[v]
-			case score == bestScore && c.vFreq[v] > bestN:
-				best, bestN = v, c.vFreq[v]
-			case score == bestScore && c.vFreq[v] == bestN && v < best:
-				best = v
 			}
 		}
-		c.bestCAT[g] = best
+		c.bestCAT[tag] = best
 	}
 }
 
-// Predict returns bestCAT(C_D^T.classify(t.h)); a tag never seen in
-// training falls back to the majority categorical value (the paper
+// Predict returns bestCAT(tag(t.h)) for the test row; a tag never seen
+// in training falls back to the majority categorical value (the paper
 // allows an arbitrary choice; majority is the deterministic one).
-func (c *tgtClassifier) Predict(v relational.Value) string {
-	g := c.tc.classify(v, c.domain)
-	if label, ok := c.bestCAT[g]; ok {
-		return label
+func (c *tgtClassifier) Predict(row int, _ relational.Value) int {
+	tag := int(c.testTags[row]) + 1
+	if c.gFreq[tag] > 0 {
+		return c.bestCAT[tag]
 	}
 	return c.majority
 }
@@ -323,7 +406,7 @@ func families(r *relational.Table, tgt *relational.Schema, opt Options) []ViewFa
 	case SrcClassInfer:
 		cfg.factory = srcClassifierFactory
 	case TgtClassInfer:
-		cfg.factory = newTargetClassifiers(tgt).factory
+		cfg.factory = newTagger(newTargetClassifiers(tgt).freezeFresh()).factory
 	default:
 		return nil
 	}

@@ -22,19 +22,21 @@ import (
 // afterwards silently desynchronizes the pinned artifacts — re-prepare
 // after any in-place mutation.
 type PreparedTarget struct {
-	tgt   *relational.Schema
-	opt   Options
-	eng   *match.Engine
-	feats *match.TargetFeatures
-	tcls  *targetClassifiers
+	tgt  *relational.Schema
+	opt  Options
+	eng  *match.Engine
+	arts *targetArtifacts
 }
 
 // PrepareTarget eagerly resolves the target-side artifacts for tgt under
-// opt. When opt.Cache is set the artifacts are taken from (and stored
-// into) the cache, so PrepareTarget after a previous run against the
-// same catalog is free; a nil cache computes fresh. An empty or nil
-// target returns ErrEmptySchema; an already-canceled context returns
-// before any work is spent on the catalog.
+// opt — the ID-keyed column feature layer and its shared frozen gram
+// dictionary, plus (under TgtClassInfer) the per-domain target
+// classifiers trained and compiled to their frozen form. When opt.Cache
+// is set the artifacts are taken from (and stored into) the cache, so
+// PrepareTarget after a previous run against the same catalog is free; a
+// nil cache computes fresh. An empty or nil target returns
+// ErrEmptySchema; an already-canceled context returns before any work is
+// spent on the catalog.
 func PrepareTarget(ctx context.Context, tgt *relational.Schema, opt Options) (*PreparedTarget, error) {
 	if tgt == nil || len(tgt.Tables) == 0 {
 		return nil, fmt.Errorf("target %w", ErrEmptySchema)
@@ -45,10 +47,7 @@ func PrepareTarget(ctx context.Context, tgt *relational.Schema, opt Options) (*P
 		}
 	}
 	pt := &PreparedTarget{tgt: tgt, opt: opt, eng: opt.engine()}
-	pt.feats = opt.Cache.featuresFor(pt.eng, tgt)
-	if opt.Inference == TgtClassInfer {
-		pt.tcls = opt.Cache.classifiersFor(pt.eng, tgt)
-	}
+	pt.arts = opt.Cache.artifactsFor(pt.eng, tgt, opt.Inference == TgtClassInfer)
 	return pt, nil
 }
 
@@ -66,14 +65,22 @@ type PrepStats struct {
 	Classifiers int
 	// FeatureColumns counts the precomputed column feature vectors.
 	FeatureColumns int
+	// DictGrams counts the distinct grams interned into the handle's
+	// shared dictionary (catalog column grams, attribute-name grams and
+	// frozen classifier vocabulary share one ID space).
+	DictGrams int
+	// DictBytes estimates the memory the interned dictionary pins.
+	DictBytes int
 }
 
 // Stats reports the size of the catalog and of the pinned artifacts.
 func (pt *PreparedTarget) Stats() PrepStats {
 	s := PrepStats{
 		Tables:         len(pt.tgt.Tables),
-		Classifiers:    pt.tcls.domains(),
-		FeatureColumns: pt.feats.Columns(),
+		Classifiers:    pt.arts.tcls.domains(),
+		FeatureColumns: pt.arts.feats.Columns(),
+		DictGrams:      pt.arts.dict.Len(),
+		DictBytes:      pt.arts.dict.Bytes(),
 	}
 	for _, t := range pt.tgt.Tables {
 		s.Rows += len(t.Rows)

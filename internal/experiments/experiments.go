@@ -12,7 +12,7 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"ctxmatch"
@@ -113,7 +113,7 @@ func IDs() []string {
 	for id := range Registry {
 		out = append(out, id)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

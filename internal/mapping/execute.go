@@ -3,7 +3,7 @@ package mapping
 import (
 	"fmt"
 	"maps"
-	"sort"
+	"slices"
 	"strings"
 
 	"ctxmatch/internal/match"
@@ -233,6 +233,6 @@ func (m *Mapping) ViewDefinitions() []string {
 			out = append(out, fmt.Sprintf("CREATE VIEW %s AS %s", t.Name, t.SQL()))
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

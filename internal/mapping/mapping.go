@@ -10,8 +10,9 @@
 package mapping
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"ctxmatch/internal/constraints"
@@ -100,7 +101,7 @@ func Build(corrs []match.Match, cons *constraints.Set) []*Mapping {
 		}
 		byTarget[name] = append(byTarget[name], c)
 	}
-	sort.Strings(targetOrder)
+	slices.Sort(targetOrder)
 
 	var out []*Mapping
 	for _, tname := range targetOrder {
@@ -124,7 +125,7 @@ func buildLogicalTables(corrs []match.Match, cons *constraints.Set) []*LogicalTa
 			nodes = append(nodes, c.Source)
 		}
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	slices.SortFunc(nodes, func(a, b *relational.Table) int { return strings.Compare(a.Name, b.Name) })
 
 	parent := map[string]string{}
 	var find func(string) string
@@ -389,11 +390,11 @@ func sameAttrSets(a, b *relational.Table) bool {
 // boundary.
 func sharedKeyWithCFK(a, b *relational.Table, condAttr string, cons *constraints.Set) ([]string, bool) {
 	keys := append([]constraints.Key(nil), cons.KeysOf(a.Name)...)
-	sort.Slice(keys, func(i, j int) bool {
-		if len(keys[i].Attrs) != len(keys[j].Attrs) {
-			return len(keys[i].Attrs) < len(keys[j].Attrs)
+	slices.SortFunc(keys, func(a, b constraints.Key) int {
+		if len(a.Attrs) != len(b.Attrs) {
+			return cmp.Compare(len(a.Attrs), len(b.Attrs))
 		}
-		return strings.Join(keys[i].Attrs, ",") < strings.Join(keys[j].Attrs, ",")
+		return strings.Compare(strings.Join(a.Attrs, ","), strings.Join(b.Attrs, ","))
 	})
 	for _, ka := range keys {
 		skip := false

@@ -16,46 +16,107 @@ var targetPrecomputes atomic.Int64
 // been computed in this process.
 func TargetPrecomputes() int64 { return targetPrecomputes.Load() }
 
-// TargetFeatures holds the per-column derived features (3-gram vectors,
-// numeric slices) of one target schema, precomputed once so that repeated
+// TargetFeatures holds the per-column derived features of one target
+// schema — interned-gram ID vectors for string columns, numeric slices
+// for number columns, attribute-name gram vectors — plus the gram
+// dictionary they are keyed by, all precomputed once so that repeated
 // Bind calls against the same long-lived target catalog skip the column
-// scans. The struct is immutable after PrecomputeTarget returns and is
-// therefore safe to share between concurrent Bounds.
+// scans and share one ID space. The struct is immutable after the
+// owning dictionary is frozen and is then safe to share between
+// concurrent Bounds.
 type TargetFeatures struct {
 	tgt       *relational.Schema
 	maxValues int
-	ngrams    map[colKey]tokenize.Vector
+	dict      *tokenize.Dict
+	ngrams    map[colKey]*tokenize.IDVector
 	numbers   map[colKey][]float64
+	names     map[string]*tokenize.IDVector
 }
 
 // PrecomputeTarget scans every column of tgt once and returns the shared
-// feature set for the engine's configured matchers. The n-gram value cap
-// is taken from the engine's ValueNGramMatcher so shared vectors are
-// identical to the ones a private FeatureCache would build.
+// feature set for the engine's configured matchers, interning all catalog
+// grams into a fresh dictionary that is frozen before returning. The
+// n-gram value cap is taken from the engine's ValueNGramMatcher so shared
+// vectors are identical to the ones a private FeatureCache would build.
 func (e *Engine) PrecomputeTarget(tgt *relational.Schema) *TargetFeatures {
+	d := tokenize.NewDict()
+	tf := e.PrecomputeTargetInto(tgt, d)
+	d.Freeze()
+	return tf
+}
+
+// PrecomputeTargetInto is PrecomputeTarget against a caller-owned
+// dictionary that must still be building; the caller freezes it once
+// every artifact sharing the ID space (e.g. frozen classifiers) has
+// been compiled into it.
+func (e *Engine) PrecomputeTargetInto(tgt *relational.Schema, d *tokenize.Dict) *TargetFeatures {
 	targetPrecomputes.Add(1)
 	tf := &TargetFeatures{
 		tgt:       tgt,
 		maxValues: e.ngramMaxValues(),
-		ngrams:    map[colKey]tokenize.Vector{},
+		dict:      d,
+		ngrams:    map[colKey]*tokenize.IDVector{},
 		numbers:   map[colKey][]float64{},
+		names:     map[string]*tokenize.IDVector{},
 	}
 	if tgt == nil {
 		return tf
 	}
-	warm := NewFeatureCache()
+	b := tokenize.NewVectorBuilder()
 	for _, tt := range tgt.Tables {
 		for _, a := range tt.Attrs {
 			key := colKey{tt, a.Name}
 			switch a.Type.Domain() {
 			case relational.DomainString:
-				tf.ngrams[key] = warm.NGramVector(tt, a.Name, tf.maxValues)
+				tf.ngrams[key] = buildColumnVector(b, d, tt, a.Name, tf.maxValues)
 			case relational.DomainNumber:
-				tf.numbers[key] = warm.Numeric(tt, a.Name)
+				tf.numbers[key] = numericColumn(tt, a.Name)
+			}
+			if _, ok := tf.names[a.Name]; !ok {
+				b.AddTrigrams(d, a.Name)
+				tf.names[a.Name] = b.Build()
 			}
 		}
 	}
 	return tf
+}
+
+// buildColumnVector aggregates the trigram vector of one column through
+// the shared builder: at most maxValues non-null values (0 = all). Rows
+// are walked in place — no intermediate column slice.
+func buildColumnVector(b *tokenize.VectorBuilder, d *tokenize.Dict, t *relational.Table, attr string, maxValues int) *tokenize.IDVector {
+	i := t.AttrIndex(attr)
+	if i < 0 {
+		return b.Build()
+	}
+	n := 0
+	for _, row := range t.Rows {
+		v := row[i]
+		if v.IsNull() {
+			continue
+		}
+		b.AddTrigrams(d, v.Str())
+		n++
+		if maxValues > 0 && n >= maxValues {
+			break
+		}
+	}
+	return b.Build()
+}
+
+// numericColumn collects the column's parseable numeric values.
+func numericColumn(t *relational.Table, attr string) []float64 {
+	out := []float64{}
+	i := t.AttrIndex(attr)
+	if i < 0 {
+		return out
+	}
+	for _, row := range t.Rows {
+		if x, ok := row[i].Float(); ok {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // ngramMaxValues returns the value cap of the engine's ValueNGramMatcher
@@ -73,6 +134,11 @@ func (e *Engine) ngramMaxValues() int {
 // Target returns the schema the features were computed for.
 func (tf *TargetFeatures) Target() *relational.Schema { return tf.tgt }
 
+// Dict returns the frozen gram dictionary shared by every vector in the
+// layer (and by any frozen classifiers compiled into the same ID
+// space).
+func (tf *TargetFeatures) Dict() *tokenize.Dict { return tf.dict }
+
 // Columns returns how many column feature vectors (n-gram and numeric)
 // the layer holds — the size figure a serving layer reports per
 // prepared catalog.
@@ -81,4 +147,12 @@ func (tf *TargetFeatures) Columns() int {
 		return 0
 	}
 	return len(tf.ngrams) + len(tf.numbers)
+}
+
+// covers reports whether the layer can answer every target-side feature
+// lookup of a Bind against tgt with the given n-gram cap — the
+// precondition for the column-parallel bind path, whose normalization
+// pass must be read-only on the cache.
+func (tf *TargetFeatures) covers(tgt *relational.Schema, maxValues int) bool {
+	return tf != nil && tf.tgt == tgt && tf.maxValues == maxValues
 }

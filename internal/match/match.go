@@ -8,9 +8,12 @@
 package match
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
+	"sync"
 
 	"ctxmatch/internal/relational"
 	"ctxmatch/internal/stats"
@@ -77,16 +80,26 @@ type AttrMatcher interface {
 	Score(cache *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64
 }
 
-// FeatureCache memoizes per-column derived features (3-gram vectors,
-// numeric slices) keyed by table identity and attribute. A Bound owns
-// one for the lifetime of a matching run; it is not safe for concurrent
-// use. An optional shared TargetFeatures layer — immutable, so safe to
-// read from many caches at once — answers target-column lookups without
-// rescanning the catalog.
+// FeatureCache memoizes per-column derived features — interned-gram ID
+// vectors, numeric slices, attribute-name gram vectors — keyed by table
+// identity and attribute. A Bound owns one for the lifetime of a
+// matching run; it is not safe for concurrent use. An optional shared
+// TargetFeatures layer — immutable, so safe to read from many caches at
+// once — answers target-column lookups without rescanning the catalog
+// and supplies the frozen gram dictionary; grams outside the dictionary
+// get per-column overflow IDs (see tokenize.VectorBuilder). Without a
+// shared layer the cache interns into a private building dictionary.
+//
+// Caches are pooled: Bind acquires one and Bound.Release returns it, so
+// the steady-state prepared hot path reuses the maps instead of
+// reallocating them per request.
 type FeatureCache struct {
-	ngrams  map[colKey]tokenize.Vector
-	numbers map[colKey][]float64
+	dict    *tokenize.Dict
 	shared  *TargetFeatures
+	builder *tokenize.VectorBuilder
+	ngrams  map[colKey]*tokenize.IDVector
+	numbers map[colKey][]float64
+	names   map[string]*tokenize.IDVector
 }
 
 type colKey struct {
@@ -94,20 +107,52 @@ type colKey struct {
 	attr string
 }
 
-// NewFeatureCache returns an empty cache.
+// NewFeatureCache returns an empty cache with a private building
+// dictionary.
 func NewFeatureCache() *FeatureCache {
-	return &FeatureCache{
-		ngrams:  map[colKey]tokenize.Vector{},
+	c := &FeatureCache{
+		builder: tokenize.NewVectorBuilder(),
+		ngrams:  map[colKey]*tokenize.IDVector{},
 		numbers: map[colKey][]float64{},
+		names:   map[string]*tokenize.IDVector{},
 	}
+	c.dict = tokenize.NewDict()
+	return c
 }
 
-// NGramVector returns the aggregate trigram frequency vector of the
-// column, computing it at most once per (table, attribute). maxValues
-// caps how many values are folded in (0 = all); the cap is part of the
-// column's identity only on first use, matching ValueNGramMatcher's
-// single configuration per engine.
-func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues int) tokenize.Vector {
+// featureCachePool recycles caches between Bind calls; see Bound.Release.
+var featureCachePool = sync.Pool{New: func() any { return NewFeatureCache() }}
+
+// acquireFeatureCache returns a pooled cache wired to the shared feature
+// layer (nil for a private cache with a fresh building dictionary).
+func acquireFeatureCache(tf *TargetFeatures) *FeatureCache {
+	c := featureCachePool.Get().(*FeatureCache)
+	c.shared = tf
+	if tf != nil {
+		c.dict = tf.dict
+	} else {
+		c.dict = tokenize.NewDict()
+	}
+	return c
+}
+
+// release clears the cache and returns it to the pool. The maps keep
+// their capacity, which is what makes the steady-state hot path cheap.
+func (c *FeatureCache) release() {
+	clear(c.ngrams)
+	clear(c.numbers)
+	clear(c.names)
+	c.shared = nil
+	c.dict = nil
+	featureCachePool.Put(c)
+}
+
+// NGramVector returns the aggregate trigram ID vector of the column,
+// computing it at most once per (table, attribute). maxValues caps how
+// many values are folded in (0 = all); the cap is part of the column's
+// identity only on first use, matching ValueNGramMatcher's single
+// configuration per engine.
+func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues int) *tokenize.IDVector {
 	key := colKey{t, attr}
 	if c.shared != nil && maxValues == c.shared.maxValues {
 		if v, ok := c.shared.ngrams[key]; ok {
@@ -117,18 +162,7 @@ func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues i
 	if v, ok := c.ngrams[key]; ok {
 		return v
 	}
-	vec := tokenize.Vector{}
-	n := 0
-	for _, v := range t.Column(attr) {
-		if v.IsNull() {
-			continue
-		}
-		vec.Add(tokenize.Trigrams(v.Str()))
-		n++
-		if maxValues > 0 && n >= maxValues {
-			break
-		}
-	}
+	vec := buildColumnVector(c.builder, c.dict, t, attr, maxValues)
 	c.ngrams[key] = vec
 	return vec
 }
@@ -145,14 +179,27 @@ func (c *FeatureCache) Numeric(t *relational.Table, attr string) []float64 {
 	if v, ok := c.numbers[key]; ok {
 		return v
 	}
-	out := []float64{}
-	for _, v := range t.Column(attr) {
-		if x, ok := v.Float(); ok {
-			out = append(out, x)
-		}
-	}
+	out := numericColumn(t, attr)
 	c.numbers[key] = out
 	return out
+}
+
+// NameVector returns the trigram ID vector of an attribute name,
+// computed at most once per distinct name, so the name matcher stops
+// re-tokenizing the same identifiers for every scored pair.
+func (c *FeatureCache) NameVector(name string) *tokenize.IDVector {
+	if c.shared != nil {
+		if v, ok := c.shared.names[name]; ok {
+			return v
+		}
+	}
+	if v, ok := c.names[name]; ok {
+		return v
+	}
+	c.builder.AddTrigrams(c.dict, name)
+	v := c.builder.Build()
+	c.names[name] = v
+	return v
 }
 
 // Engine bundles a matcher set. The zero value is unusable; construct
@@ -223,38 +270,197 @@ func (e *Engine) Bind(src *relational.Table, tgt *relational.Schema) *Bound {
 // still scans the source column features, which a long-lived Matcher
 // cannot reuse across different sources.
 func (e *Engine) BindWithFeatures(src *relational.Table, tgt *relational.Schema, tf *TargetFeatures) *Bound {
-	b := &Bound{engine: e, src: src, tgt: tgt, cache: NewFeatureCache()}
-	b.cache.shared = tf
+	return e.BindParallel(src, tgt, tf, 1)
+}
+
+// BindParallel is BindWithFeatures with the source-side work — column
+// feature extraction and per-(matcher, source attribute) normalization
+// — fanned across up to workers goroutines. Output is bit-identical to
+// the sequential bind at any worker count: each (matcher, attribute)
+// accumulation runs entirely inside one task, in target order.
+//
+// The parallel path requires a feature layer covering tgt (so the
+// normalization pass is read-only on the cache) and an engine whose
+// matchers touch only domain-appropriate cache accessors, as the
+// built-in suite does; otherwise workers degrade to 1.
+func (e *Engine) BindParallel(src *relational.Table, tgt *relational.Schema, tf *TargetFeatures, workers int) *Bound {
+	b := &Bound{engine: e, src: src, tgt: tgt, cache: acquireFeatureCache(tf)}
 	for _, tt := range tgt.Tables {
 		for _, a := range tt.Attrs {
 			b.targets = append(b.targets, relational.AttrRef{Table: tt.Name, Attr: a.Name})
 		}
 	}
-	b.norm = make([]map[string]normStat, len(e.Matchers))
-	for mi, m := range e.Matchers {
-		b.norm[mi] = make(map[string]normStat, len(src.Attrs))
-		for _, sa := range src.Attrs {
-			var acc stats.Moments
-			// A zero pseudo-observation anchors the distribution at the
-			// "unrelated column" score. With many target attributes it
-			// is negligible; with very few it keeps the sample from
-			// degenerating (two real scores pin the better one at z=+1
-			// no matter how raw scores move under a view).
-			acc.Add(0)
-			for _, ref := range b.targets {
-				tt := tgt.Table(ref.Table)
-				if m.Applicable(src, sa.Name, tt, ref.Attr) {
-					acc.Add(m.Score(b.cache, src, sa.Name, tt, ref.Attr))
-				}
-			}
-			sigma := acc.Std()
-			if sigma < minNormSigma {
-				sigma = minNormSigma
-			}
-			b.norm[mi][sa.Name] = normStat{mu: acc.Mean(), sigma: sigma}
-		}
+	if workers > len(src.Attrs) {
+		workers = len(src.Attrs)
+	}
+	if workers > 1 && tf.covers(tgt, e.ngramMaxValues()) {
+		b.prewarmParallel(workers)
+		b.normalizeParallel(workers)
+	} else {
+		b.normalizeSequential()
 	}
 	return b
+}
+
+// normalizeSequential computes the §2.3 normalization statistics in
+// schema order on the calling goroutine.
+func (b *Bound) normalizeSequential() {
+	b.norm = make([]map[string]normStat, len(b.engine.Matchers))
+	for mi, m := range b.engine.Matchers {
+		b.norm[mi] = make(map[string]normStat, len(b.src.Attrs))
+		for _, sa := range b.src.Attrs {
+			b.norm[mi][sa.Name] = b.normalizeOne(m, sa.Name, b.cache)
+		}
+	}
+}
+
+// normalizeOne accumulates one (matcher, source attribute) score
+// distribution over every target attribute.
+func (b *Bound) normalizeOne(m AttrMatcher, srcAttr string, cache *FeatureCache) normStat {
+	var acc stats.Moments
+	// A zero pseudo-observation anchors the distribution at the
+	// "unrelated column" score. With many target attributes it
+	// is negligible; with very few it keeps the sample from
+	// degenerating (two real scores pin the better one at z=+1
+	// no matter how raw scores move under a view).
+	acc.Add(0)
+	for _, ref := range b.targets {
+		tt := b.tgt.Table(ref.Table)
+		if m.Applicable(b.src, srcAttr, tt, ref.Attr) {
+			acc.Add(m.Score(cache, b.src, srcAttr, tt, ref.Attr))
+		}
+	}
+	sigma := acc.Std()
+	if sigma < minNormSigma {
+		sigma = minNormSigma
+	}
+	return normStat{mu: acc.Mean(), sigma: sigma}
+}
+
+// ForEachIndex fans fn over the indices [0, n) across up to workers
+// goroutines and waits for all of them. Each index is handed to exactly
+// one worker, so fn may write to the i-th slot of a shared results
+// slice without synchronization; per-index slots plus an in-order merge
+// after return is the deterministic fan-out shape the whole pipeline
+// uses. workers ≤ 1 (or n ≤ 1) runs inline on the calling goroutine.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// prewarmParallel builds every source-column feature the normalization
+// pass can touch — n-gram vectors for string columns, numeric slices
+// for number columns, name vectors for all attributes — fanning columns
+// across workers. Each task uses its own builder and writes into its
+// own slot; the results merge into the cache maps on the calling
+// goroutine, after which the cache is effectively read-only for the
+// built-in matcher suite.
+func (b *Bound) prewarmParallel(workers int) {
+	type slot struct {
+		vec  *tokenize.IDVector
+		nums []float64
+		name *tokenize.IDVector
+	}
+	attrs := b.src.Attrs
+	slots := make([]slot, len(attrs))
+	var builders sync.Pool
+	builders.New = func() any { return tokenize.NewVectorBuilder() }
+	ForEachIndex(len(attrs), workers, func(i int) {
+		builder := builders.Get().(*tokenize.VectorBuilder)
+		defer builders.Put(builder)
+		a := attrs[i]
+		switch a.Type.Domain() {
+		case relational.DomainString:
+			slots[i].vec = buildColumnVector(builder, b.cache.dict, b.src, a.Name, b.cache.shared.maxValues)
+		case relational.DomainNumber:
+			slots[i].nums = numericColumn(b.src, a.Name)
+		}
+		if _, ok := b.cache.shared.names[a.Name]; !ok {
+			builder.AddTrigrams(b.cache.dict, a.Name)
+			slots[i].name = builder.Build()
+		}
+	})
+	for i, a := range attrs {
+		if slots[i].vec != nil {
+			b.cache.ngrams[colKey{b.src, a.Name}] = slots[i].vec
+		}
+		if slots[i].nums != nil {
+			b.cache.numbers[colKey{b.src, a.Name}] = slots[i].nums
+		}
+		if slots[i].name != nil {
+			b.cache.names[a.Name] = slots[i].name
+		}
+	}
+}
+
+// normalizeParallel fans the per-(matcher, source attribute)
+// normalization accumulations across workers. The cache must already be
+// warm (prewarmParallel) so every Score call is a read; results land in
+// indexed slots and merge deterministically.
+func (b *Bound) normalizeParallel(workers int) {
+	matchers := b.engine.Matchers
+	attrs := b.src.Attrs
+	slots := make([]normStat, len(matchers)*len(attrs))
+	ForEachIndex(len(slots), workers, func(i int) {
+		mi, ai := i/len(attrs), i%len(attrs)
+		slots[i] = b.normalizeOne(matchers[mi], attrs[ai].Name, b.cache)
+	})
+	b.norm = make([]map[string]normStat, len(matchers))
+	for mi := range matchers {
+		b.norm[mi] = make(map[string]normStat, len(attrs))
+		for ai, sa := range attrs {
+			b.norm[mi][sa.Name] = slots[mi*len(attrs)+ai]
+		}
+	}
+}
+
+// Clone returns a Bound sharing the receiver's engine, source, targets
+// and normalization statistics but owning a fresh pooled FeatureCache,
+// so concurrent candidate-view scoring can proceed with one clone per
+// worker. Release each clone independently.
+func (b *Bound) Clone() *Bound {
+	return &Bound{
+		engine:  b.engine,
+		src:     b.src,
+		tgt:     b.tgt,
+		cache:   acquireFeatureCache(b.cache.shared),
+		targets: b.targets,
+		norm:    b.norm,
+	}
+}
+
+// Release returns the Bound's FeatureCache to the pool. The Bound (and
+// any feature vector obtained through its cache) must not be used
+// afterwards. Release is not idempotent; call it exactly once, and only
+// on Bounds whose scoring is complete.
+func (b *Bound) Release() {
+	if b.cache != nil {
+		b.cache.release()
+		b.cache = nil
+	}
 }
 
 // minNormSigma floors the normalization deviation so that a source
@@ -374,18 +580,17 @@ func (b *Bound) Explain(srcView *relational.Table, srcAttr, tgtTable, tgtAttr st
 // source attribute, target table and target attribute so output is
 // stable across runs.
 func SortMatches(ms []Match) {
-	sort.SliceStable(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
+	slices.SortStableFunc(ms, func(a, b Match) int {
 		if a.Confidence != b.Confidence {
-			return a.Confidence > b.Confidence
+			return cmp.Compare(b.Confidence, a.Confidence)
 		}
-		if a.SourceAttr != b.SourceAttr {
-			return a.SourceAttr < b.SourceAttr
+		if c := strings.Compare(a.SourceAttr, b.SourceAttr); c != 0 {
+			return c
 		}
-		if a.Target.Name != b.Target.Name {
-			return a.Target.Name < b.Target.Name
+		if c := strings.Compare(a.Target.Name, b.Target.Name); c != 0 {
+			return c
 		}
-		return a.TargetAttr < b.TargetAttr
+		return strings.Compare(a.TargetAttr, b.TargetAttr)
 	})
 }
 

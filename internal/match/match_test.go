@@ -84,14 +84,15 @@ func fixture(rng *rand.Rand, n int) (src *relational.Table, tgt *relational.Sche
 
 func TestNameMatcher(t *testing.T) {
 	m := NameMatcher{W: 1}
-	if got := m.Score(nil, nil, "title", nil, "title"); got != 1 {
+	c := NewFeatureCache()
+	if got := m.Score(c, nil, "title", nil, "title"); got != 1 {
 		t.Errorf("identical names score %v, want 1", got)
 	}
-	if got := m.Score(nil, nil, "isbn", nil, "zzz"); got != 0 {
+	if got := m.Score(c, nil, "isbn", nil, "zzz"); got != 0 {
 		t.Errorf("disjoint names score %v, want 0", got)
 	}
-	closeScore := m.Score(nil, nil, "price", nil, "prices")
-	farScore := m.Score(nil, nil, "price", nil, "label")
+	closeScore := m.Score(c, nil, "price", nil, "prices")
+	farScore := m.Score(c, nil, "price", nil, "label")
 	if closeScore <= farScore {
 		t.Errorf("price~prices (%v) should beat price~label (%v)", closeScore, farScore)
 	}

@@ -26,11 +26,11 @@ func (NameMatcher) Applicable(*relational.Table, string, *relational.Table, stri
 	return true
 }
 
-// Score implements AttrMatcher.
-func (NameMatcher) Score(_ *FeatureCache, _ *relational.Table, srcAttr string, _ *relational.Table, tgtAttr string) float64 {
-	a := tokenize.NewVector(tokenize.Trigrams(srcAttr))
-	b := tokenize.NewVector(tokenize.Trigrams(tgtAttr))
-	return tokenize.Jaccard(a, b)
+// Score implements AttrMatcher. Name vectors are memoized in the cache,
+// so repeated scoring of the same identifiers (every target attribute,
+// every candidate view) tokenizes each name once.
+func (NameMatcher) Score(cache *FeatureCache, _ *relational.Table, srcAttr string, _ *relational.Table, tgtAttr string) float64 {
+	return tokenize.JaccardIDs(cache.NameVector(srcAttr), cache.NameVector(tgtAttr))
 }
 
 // ValueNGramMatcher is the instance-based matcher for string-domain
@@ -73,7 +73,7 @@ func (m ValueNGramMatcher) Score(cache *FeatureCache, src *relational.Table, src
 	if !ok || ta.Type.Domain() != relational.DomainString {
 		return 0
 	}
-	c := tokenize.Cosine(
+	c := tokenize.CosineIDs(
 		cache.NGramVector(src, srcAttr, m.MaxValues),
 		cache.NGramVector(tgt, tgtAttr, m.MaxValues),
 	)

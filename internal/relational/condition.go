@@ -2,7 +2,7 @@ package relational
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -93,7 +93,7 @@ func NewIn(attr string, values ...Value) In {
 	for _, v := range seen {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	slices.SortFunc(out, Value.Compare)
 	return In{Attr: attr, Values: out}
 }
 
@@ -269,8 +269,8 @@ func condSetEqual(a, b []Condition) bool {
 		as[i] = a[i].String()
 		bs[i] = b[i].String()
 	}
-	sort.Strings(as)
-	sort.Strings(bs)
+	slices.Sort(as)
+	slices.Sort(bs)
 	for i := range as {
 		if as[i] != bs[i] {
 			return false

@@ -2,7 +2,7 @@ package relational
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -280,18 +280,21 @@ func (t *Table) IsCategorical(attr string) bool {
 	return t.IsCategoricalOpt(attr, DefaultCategoricalOptions())
 }
 
-// IsCategoricalOpt is IsCategorical with explicit thresholds.
+// IsCategoricalOpt is IsCategorical with explicit thresholds. Values
+// key the count map directly (Value is comparable), so the scan walks
+// the rows without building a column slice or rendering key strings.
 func (t *Table) IsCategoricalOpt(attr string, opt CategoricalOptions) bool {
-	col := t.Column(attr)
-	if len(col) == 0 {
+	i := t.AttrIndex(attr)
+	if i < 0 || len(t.Rows) == 0 {
 		return false
 	}
-	counts := map[string]int{}
-	for _, v := range col {
+	counts := map[Value]int{}
+	for _, row := range t.Rows {
+		v := row[i]
 		if v.IsNull() {
 			continue
 		}
-		counts[v.Key()]++
+		counts[v.MapKey()]++
 	}
 	distinct := len(counts)
 	if distinct < 2 {
@@ -300,7 +303,7 @@ func (t *Table) IsCategoricalOpt(attr string, opt CategoricalOptions) bool {
 	if opt.MaxDistinct > 0 && distinct > opt.MaxDistinct {
 		return false
 	}
-	minTuples := float64(len(col)) * opt.TupleFrac
+	minTuples := float64(len(t.Rows)) * opt.TupleFrac
 	if minTuples < 2 {
 		minTuples = 2 // small-sample rule from §2.1
 	}
@@ -334,34 +337,47 @@ func (t *Table) categoricalAttrs(opt CategoricalOptions) []string {
 // NonCategoricalAttrs returns NonCat(R): attributes that are not
 // categorical and hence candidates to be "documents" in ClusteredViewGen.
 func (t *Table) NonCategoricalAttrs() []string {
-	cat := map[string]bool{}
-	for _, a := range t.CategoricalAttrs() {
-		cat[a] = true
-	}
-	var out []string
+	_, nonCat := t.PartitionAttrs()
+	return nonCat
+}
+
+// PartitionAttrs splits the attributes into Cat(R) and NonCat(R) in one
+// pass over the sample, for callers (like ClusteredViewGen) that need
+// both sides of the partition.
+func (t *Table) PartitionAttrs() (cat, nonCat []string) {
+	opt := DefaultCategoricalOptions()
 	for _, a := range t.Attrs {
-		if !cat[a.Name] {
-			out = append(out, a.Name)
+		if t.IsCategoricalOpt(a.Name, opt) {
+			cat = append(cat, a.Name)
+		} else {
+			nonCat = append(nonCat, a.Name)
 		}
 	}
-	return out
+	return cat, nonCat
 }
 
 // DistinctValues returns the distinct non-NULL values of an attribute in
 // ascending Value order (deterministic across runs).
 func (t *Table) DistinctValues(attr string) []Value {
-	seen := map[string]Value{}
-	for _, v := range t.Column(attr) {
+	i := t.AttrIndex(attr)
+	if i < 0 {
+		return nil
+	}
+	seen := map[Value]struct{}{}
+	out := make([]Value, 0)
+	for _, row := range t.Rows {
+		v := row[i]
 		if v.IsNull() {
 			continue
 		}
-		seen[v.Key()] = v
-	}
-	out := make([]Value, 0, len(seen))
-	for _, v := range seen {
+		k := v.MapKey()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	slices.SortFunc(out, Value.Compare)
 	return out
 }
 

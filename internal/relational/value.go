@@ -221,6 +221,20 @@ func (v Value) Equal(w Value) bool {
 	}
 }
 
+// MapKey returns a Value suitable for use as a Go map key such that
+// values equal under Key() collide: all NaNs (which, as raw map keys,
+// never equal even themselves) canonicalize to one sentinel that cannot
+// collide with any constructible value. Use it whenever a map is keyed
+// by Value to count or deduplicate sample data.
+func (v Value) MapKey() Value {
+	if v.kind == kindNumber && math.IsNaN(v.num) {
+		// kindNull with a non-zero num is never produced by any
+		// constructor, so the sentinel is collision-free.
+		return Value{kind: kindNull, num: 1}
+	}
+	return v
+}
+
 // Key returns a canonical string usable as a map key so that equal values
 // produce equal keys. It is injective per domain.
 func (v Value) Key() string {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,7 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"sort"
+	"slices"
 	"time"
 
 	"ctxmatch"
@@ -248,7 +249,7 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Order per-source errors by index so responses are deterministic
 	// regardless of which worker goroutine failed first.
-	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Index < resp.Errors[j].Index })
+	slices.SortFunc(resp.Errors, func(a, b BatchError) int { return cmp.Compare(a.Index, b.Index) })
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -76,6 +76,8 @@ func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Sc
 		Attributes:     st.Attributes,
 		Classifiers:    st.Classifiers,
 		FeatureColumns: st.FeatureColumns,
+		DictGrams:      st.DictGrams,
+		DictBytes:      st.DictBytes,
 	}
 	r.entries[name] = &catalogEntry{target: t, info: info}
 	r.touchLocked(name)

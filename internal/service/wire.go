@@ -110,6 +110,10 @@ type CatalogInfo struct {
 	// Classifiers and FeatureColumns size the pinned artifacts.
 	Classifiers    int `json:"classifiers"`
 	FeatureColumns int `json:"feature_columns"`
+	// DictGrams and DictBytes size the interned gram dictionary the
+	// prepared handle pins (see ctxmatch.TargetStats).
+	DictGrams int `json:"dict_grams"`
+	DictBytes int `json:"dict_bytes"`
 }
 
 // matchRequest is the JSON body of POST /v1/catalogs/{name}/match.

@@ -7,7 +7,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // NormalCDF returns Φ((x-mu)/sigma), the cumulative distribution function
@@ -192,7 +192,7 @@ func Median(xs []float64) float64 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	slices.Sort(s)
 	n := len(s)
 	if n%2 == 1 {
 		return s[n/2]

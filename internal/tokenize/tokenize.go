@@ -1,18 +1,26 @@
 // Package tokenize provides the text features used by the matching and
 // classification layers: case folding, q-grams (the paper's classifiers
-// tokenize values into 3-grams, §3.2.3), word tokens, and sparse
-// frequency vectors with cosine similarity.
+// tokenize values into 3-grams, §3.2.3), word tokens, a gram dictionary
+// interning tokens to dense IDs, and ID-keyed sparse frequency vectors
+// with deterministic cosine and Jaccard similarity.
 package tokenize
 
 import (
-	"math"
+	"iter"
 	"strings"
 	"unicode"
 )
 
 // Fold normalizes raw text for feature extraction: lower-cases it and
-// collapses runs of whitespace to single spaces.
+// collapses runs of whitespace to single spaces. Input that is already
+// folded ASCII — no uppercase letters, no whitespace other than single
+// interior spaces, no multi-byte runes — is returned unchanged without
+// allocating, which makes repeated feature extraction over normalized
+// sample data allocation-free.
 func Fold(s string) string {
+	if isFoldedASCII(s) {
+		return s
+	}
 	var b strings.Builder
 	b.Grow(len(s))
 	space := false
@@ -28,6 +36,29 @@ func Fold(s string) string {
 		b.WriteRune(unicode.ToLower(r))
 	}
 	return b.String()
+}
+
+// isFoldedASCII reports whether Fold(s) == s without doing the work: every
+// byte is single-byte ASCII, no byte is an uppercase letter or a
+// non-space whitespace character, and every space is a single separator
+// between non-space characters.
+func isFoldedASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 0x80:
+			return false
+		case 'A' <= c && c <= 'Z':
+			return false
+		case c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r':
+			return false
+		case c == ' ':
+			if i == 0 || i+1 == len(s) || s[i+1] == ' ' {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // QGrams returns the q-grams of the folded string. Strings shorter than q
@@ -52,6 +83,58 @@ func QGrams(s string, q int) []string {
 // Trigrams returns QGrams(s, 3), the paper's default.
 func Trigrams(s string) []string { return QGrams(s, 3) }
 
+// maxSeqQ is the largest q GramSeq supports with its fixed-size rune
+// boundary ring; larger q falls back to the materializing QGrams.
+const maxSeqQ = 8
+
+// GramSeq yields the q-grams of the folded string one at a time, in the
+// exact order and with the exact contents of QGrams(s, q), without
+// materializing a []string. Every yielded gram is a substring of the
+// folded input, so iteration performs zero allocations when s is already
+// folded (see Fold) and exactly one otherwise. q must be positive;
+// q > 8 falls back to QGrams internally.
+func GramSeq(s string, q int) iter.Seq[string] {
+	return func(yield func(string) bool) {
+		s = Fold(s)
+		if s == "" {
+			return
+		}
+		if q > maxSeqQ {
+			for _, g := range QGrams(s, q) {
+				if !yield(g) {
+					return
+				}
+			}
+			return
+		}
+		// ring holds the byte offsets of the last q+1 rune boundaries;
+		// a window of q runes spans ring[(n-q)%(q+1)] .. the current
+		// boundary. `for i := range s` iterates rune start offsets.
+		var ring [maxSeqQ + 1]int
+		n := 0
+		for i := range s {
+			if n >= q {
+				if !yield(s[ring[(n-q)%(q+1)]:i]) {
+					return
+				}
+			}
+			ring[n%(q+1)] = i
+			n++
+		}
+		if n <= q {
+			// Strings of at most q runes yield themselves whole, so no
+			// non-empty value is featureless (QGrams's contract).
+			yield(s)
+			return
+		}
+		yield(s[ring[(n-q)%(q+1)]:])
+	}
+}
+
+// TrigramSeq is GramSeq(s, 3), the allocation-free counterpart of
+// Trigrams.
+func TrigramSeq(s string) iter.Seq[string] { return GramSeq(s, 3) }
+
 // Words returns the folded string split into maximal runs of letters and
 // digits.
 func Words(s string) []string {
@@ -60,71 +143,9 @@ func Words(s string) []string {
 	})
 }
 
-// Vector is a sparse token-frequency vector.
-type Vector map[string]float64
-
-// NewVector counts the given tokens into a fresh vector.
-func NewVector(tokens []string) Vector {
-	v := make(Vector, len(tokens))
-	for _, t := range tokens {
-		v[t]++
-	}
-	return v
-}
-
-// Add folds the tokens into v.
-func (v Vector) Add(tokens []string) {
-	for _, t := range tokens {
-		v[t]++
-	}
-}
-
-// Norm returns the Euclidean norm.
-func (v Vector) Norm() float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return math.Sqrt(s)
-}
-
-// Cosine returns the cosine similarity of two vectors in [0,1] (0 when
-// either vector is empty).
-func Cosine(a, b Vector) float64 {
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	var dot float64
-	for t, x := range a {
-		if y, ok := b[t]; ok {
-			dot += x * y
-		}
-	}
-	na, nb := a.Norm(), b.Norm()
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / (na * nb)
-}
-
-// Jaccard returns the Jaccard similarity of the token sets of two
-// vectors.
-func Jaccard(a, b Vector) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 0
-	}
-	inter := 0
-	for t := range a {
-		if _, ok := b[t]; ok {
-			inter++
-		}
-	}
-	union := len(a) + len(b) - inter
-	if union == 0 {
-		return 0
-	}
-	return float64(inter) / float64(union)
-}
+// Sparse token-frequency vectors are ID-keyed: see IDVector, built by
+// VectorBuilder against a Dict and compared with CosineIDs/JaccardIDs.
+// (The historical map[string]float64 Vector was removed when the
+// matching pipeline moved to interned gram IDs — its map-iteration
+// float summation made cosine scores nondeterministic in the last
+// bits.)

@@ -72,43 +72,43 @@ func TestWords(t *testing.T) {
 	}
 }
 
-func TestVector(t *testing.T) {
-	v := NewVector([]string{"a", "b", "a"})
-	if v["a"] != 2 || v["b"] != 1 {
-		t.Errorf("vector = %v", v)
+func TestCosineIDsBasics(t *testing.T) {
+	d := NewDict()
+	vec := func(tokens ...string) *IDVector {
+		b := NewVectorBuilder()
+		for _, tok := range tokens {
+			b.AddGram(d, tok)
+		}
+		return b.Build()
 	}
-	v.Add([]string{"b", "c"})
-	if v["b"] != 2 || v["c"] != 1 {
-		t.Errorf("after Add = %v", v)
-	}
-	if got, want := v.Norm(), math.Sqrt(4+4+1); math.Abs(got-want) > 1e-12 {
-		t.Errorf("Norm = %v, want %v", got, want)
-	}
-}
-
-func TestCosine(t *testing.T) {
-	a := NewVector([]string{"x", "y"})
-	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+	a := vec("x", "y")
+	if got := CosineIDs(a, a); math.Abs(got-1) > 1e-12 {
 		t.Errorf("self-cosine = %v, want 1", got)
 	}
-	b := NewVector([]string{"z"})
-	if got := Cosine(a, b); got != 0 {
+	if got := CosineIDs(a, vec("z")); got != 0 {
 		t.Errorf("orthogonal cosine = %v, want 0", got)
 	}
-	if got := Cosine(a, Vector{}); got != 0 {
+	if got := CosineIDs(a, vec()); got != 0 {
 		t.Errorf("empty cosine = %v, want 0", got)
 	}
 	// Cosine is symmetric even with the small-vector swap optimization.
-	c := NewVector([]string{"x", "x", "y", "w"})
-	if l, r := Cosine(a, c), Cosine(c, a); math.Abs(l-r) > 1e-12 {
+	c := vec("x", "x", "y", "w")
+	if l, r := CosineIDs(a, c), CosineIDs(c, a); math.Abs(l-r) > 1e-12 {
 		t.Errorf("cosine asymmetric: %v vs %v", l, r)
 	}
 }
 
-func TestCosineBoundsProperty(t *testing.T) {
+func TestCosineIDsBoundsProperty(t *testing.T) {
 	f := func(xs, ys []string) bool {
-		a, b := NewVector(xs), NewVector(ys)
-		c := Cosine(a, b)
+		d := NewDict()
+		ba, bb := NewVectorBuilder(), NewVectorBuilder()
+		for _, x := range xs {
+			ba.AddGram(d, x)
+		}
+		for _, y := range ys {
+			bb.AddGram(d, y)
+		}
+		c := CosineIDs(ba.Build(), bb.Build())
 		return c >= 0 && c <= 1+1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -116,16 +116,23 @@ func TestCosineBoundsProperty(t *testing.T) {
 	}
 }
 
-func TestJaccard(t *testing.T) {
-	a := NewVector([]string{"x", "y"})
-	b := NewVector([]string{"y", "z"})
-	if got := Jaccard(a, b); math.Abs(got-1.0/3.0) > 1e-12 {
+func TestJaccardIDsBasics(t *testing.T) {
+	d := NewDict()
+	vec := func(tokens ...string) *IDVector {
+		b := NewVectorBuilder()
+		for _, tok := range tokens {
+			b.AddGram(d, tok)
+		}
+		return b.Build()
+	}
+	a := vec("x", "y")
+	if got := JaccardIDs(a, vec("y", "z")); math.Abs(got-1.0/3.0) > 1e-12 {
 		t.Errorf("Jaccard = %v, want 1/3", got)
 	}
-	if got := Jaccard(a, a); got != 1 {
+	if got := JaccardIDs(a, a); got != 1 {
 		t.Errorf("self-Jaccard = %v", got)
 	}
-	if got := Jaccard(Vector{}, Vector{}); got != 0 {
+	if got := JaccardIDs(vec(), vec()); got != 0 {
 		t.Errorf("empty Jaccard = %v", got)
 	}
 }

@@ -1,0 +1,105 @@
+package ctxmatch_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ctxmatch"
+)
+
+// TestColumnParallelDeterminism pins the column-level fan-out contract:
+// on a single-table source, the whole parallelism budget flows into
+// per-column feature extraction, normalization and candidate scoring —
+// and the Result envelope a worker pool produces must re-encode
+// byte-identically to the sequential run's, at every tested width.
+func TestColumnParallelDeterminism(t *testing.T) {
+	ds := inventoryDS(7)
+	// Restrict the source to one table so the whole budget flows into
+	// the per-column fan-out rather than the table-level pool.
+	ds.Source = ctxmatch.NewSchema("RS1", ds.Source.Tables[0])
+	baselineMatcher := mustNew(t, ctxmatch.WithParallelism(1))
+	prepared, err := baselineMatcher.Prepare(context.Background(), ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := prepared.Match(context.Background(), ds.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Elapsed = 0 // wall clock is the one legitimately nondeterministic field
+	baseWire, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Matches) == 0 {
+		t.Fatal("baseline produced no matches")
+	}
+	for _, workers := range []int{2, 8} {
+		m := mustNew(t, ctxmatch.WithParallelism(workers))
+		preparedW, err := m.Prepare(context.Background(), ds.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := preparedW.Match(context.Background(), ds.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Elapsed = 0
+		wire, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, baseWire) {
+			t.Errorf("parallelism %d envelope diverged from sequential run", workers)
+		}
+	}
+}
+
+// TestEnvelopeReencodesIdentically: decoding a Result envelope and
+// re-encoding it must reproduce the original bytes — the wire format
+// carries everything the Result holds, in a fixed order.
+func TestEnvelopeReencodesIdentically(t *testing.T) {
+	ds := inventoryDS(9)
+	prepared, err := mustNew(t).Prepare(context.Background(), ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prepared.Match(context.Background(), ds.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ctxmatch.Result
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	rewire, err := json.Marshal(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, rewire) {
+		t.Error("envelope did not re-encode identically after a decode round-trip")
+	}
+}
+
+// TestTargetStatsReportsDict: a prepared handle reports the size of the
+// interned gram dictionary it pins.
+func TestTargetStatsReportsDict(t *testing.T) {
+	ds := inventoryDS(11)
+	prepared, err := mustNew(t).Prepare(context.Background(), ds.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prepared.Stats()
+	if st.DictGrams <= 0 {
+		t.Errorf("DictGrams = %d, want > 0", st.DictGrams)
+	}
+	if st.DictBytes <= st.DictGrams {
+		t.Errorf("DictBytes = %d should exceed the gram count %d", st.DictBytes, st.DictGrams)
+	}
+}

@@ -47,6 +47,14 @@ type TargetStats struct {
 	Classifiers int
 	// FeatureColumns counts precomputed column feature vectors.
 	FeatureColumns int
+	// DictGrams counts the distinct grams interned into the handle's
+	// shared dictionary at prepare time: catalog column grams,
+	// attribute-name grams and frozen classifier vocabulary share one
+	// dense ID space.
+	DictGrams int
+	// DictBytes estimates the memory the interned dictionary pins —
+	// the dominant per-catalog memory figure beyond the sample itself.
+	DictBytes int
 }
 
 // Stats reports the preparation cost and pinned-artifact sizes of the
@@ -60,6 +68,8 @@ func (t *Target) Stats() TargetStats {
 		Attributes:     ps.Attributes,
 		Classifiers:    ps.Classifiers,
 		FeatureColumns: ps.FeatureColumns,
+		DictGrams:      ps.DictGrams,
+		DictBytes:      ps.DictBytes,
 	}
 }
 
