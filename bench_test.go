@@ -209,6 +209,85 @@ func BenchmarkPreparedMatch(b *testing.B) {
 	})
 }
 
+// BenchmarkPreparedMatch10k is the enterprise-scale fixture: a
+// 10,000-row, 20-table target catalog (datagen Scale=10), where the
+// catalog is wide enough that exhaustive all-pairs cosine scoring
+// visibly degrades while the inverted gram-ID candidate index does not.
+// The two sub-benchmarks share the fixture and differ only in
+// Engine.Exhaustive; their results are byte-identical (see
+// TestIndexedScoringMatchesExhaustive), so the ratio is pure speedup.
+func BenchmarkPreparedMatch10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-catalog fixture skipped in -short mode (CI runs it in a dedicated profiled step)")
+	}
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+		Scale: 10, ExtraAttrs: 4, NoDistractors: true,
+	})
+	for _, exhaustive := range []bool{false, true} {
+		name := "indexed"
+		if exhaustive {
+			name = "exhaustive"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := match.NewEngine()
+			eng.Exhaustive = exhaustive
+			matcher, err := ctxmatch.New(ctxmatch.WithEngine(eng), ctxmatch.WithParallelism(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			prepared, err := matcher.Prepare(context.Background(), ds.Target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := prepared.Match(context.Background(), ds.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Matches) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrepare10k contrasts sequential and parallel PrepareTarget
+// on the 10k-row catalog: per-column feature extraction with the
+// deterministic dictionary merge, concurrent with per-domain classifier
+// training. A fresh Matcher per iteration keeps the artifact cache
+// cold, so every iteration pays the full preparation bill.
+func BenchmarkPrepare10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-catalog fixture skipped in -short mode (CI runs it in a dedicated profiled step)")
+	}
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+		Scale: 10, ExtraAttrs: 4, NoDistractors: true,
+	})
+	levels := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		levels = append(levels, n)
+	}
+	for _, workers := range levels {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				matcher, err := ctxmatch.New(ctxmatch.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := matcher.Prepare(context.Background(), ds.Target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStandardMatch times the base matcher alone at several sample
 // sizes.
 func BenchmarkStandardMatch(b *testing.B) {

@@ -23,13 +23,30 @@ type targetArtifacts struct {
 // buildTargetArtifacts performs the full target-side precompute: column
 // features interned into a fresh dictionary, classifier training and
 // freezing into the same ID space, then the dictionary freeze that
-// makes the whole set shareable.
-func buildTargetArtifacts(eng *match.Engine, tgt *relational.Schema, needCls bool) *targetArtifacts {
+// makes the whole set shareable. The two independent halves — column
+// feature extraction and classifier training — run concurrently, and
+// each fans internally across up to workers goroutines; the merge and
+// freeze steps are sequential in canonical order, so the artifact set
+// is bit-identical at any worker count.
+func buildTargetArtifacts(eng *match.Engine, tgt *relational.Schema, needCls bool, workers int) *targetArtifacts {
+	if workers < 1 {
+		workers = 1
+	}
 	a := &targetArtifacts{dict: tokenize.NewDict()}
-	a.feats = eng.PrecomputeTargetInto(tgt, a.dict)
+	var tcls *targetClassifiers
+	var wg sync.WaitGroup
 	if needCls {
-		a.tcls = newTargetClassifiers(tgt)
-		a.fcls = a.tcls.freeze(a.dict)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tcls = newTargetClassifiers(tgt, workers)
+		}()
+	}
+	a.feats = eng.PrecomputeTargetParallel(tgt, a.dict, workers)
+	wg.Wait()
+	if needCls {
+		a.tcls = tcls
+		a.fcls = tcls.freeze(a.dict)
 	}
 	a.dict.Freeze()
 	return a
@@ -107,22 +124,24 @@ func (c *TargetCache) entry(eng *match.Engine, tgt *relational.Schema) *targetEn
 }
 
 // artifactsFor returns the pinned artifact set for tgt, computing it at
-// most once per (engine, schema). needCls asks for trained + frozen
-// target classifiers (TgtClassInfer); an entry cached without them is
-// upgraded in place, still at most once. A nil receiver computes fresh
-// without caching.
-func (c *TargetCache) artifactsFor(eng *match.Engine, tgt *relational.Schema, needCls bool) *targetArtifacts {
+// most once per (engine, schema); a cache miss builds with up to
+// workers goroutines (the built artifacts are bit-identical at any
+// worker count, so the cache key ignores it). needCls asks for trained
+// + frozen target classifiers (TgtClassInfer); an entry cached without
+// them is upgraded in place, still at most once. A nil receiver
+// computes fresh without caching.
+func (c *TargetCache) artifactsFor(eng *match.Engine, tgt *relational.Schema, needCls bool, workers int) *targetArtifacts {
 	if c == nil {
-		return buildTargetArtifacts(eng, tgt, needCls)
+		return buildTargetArtifacts(eng, tgt, needCls, workers)
 	}
 	e := c.entry(eng, tgt)
-	e.once.Do(func() { e.arts = buildTargetArtifacts(eng, tgt, needCls) })
+	e.once.Do(func() { e.arts = buildTargetArtifacts(eng, tgt, needCls, workers) })
 	c.mu.Lock()
 	arts := e.arts
 	c.mu.Unlock()
 	if needCls && arts.fcls == nil {
 		e.clsOnce.Do(func() {
-			tcls := newTargetClassifiers(tgt)
+			tcls := newTargetClassifiers(tgt, workers)
 			d := tokenize.NewDict()
 			fcls := tcls.freeze(d)
 			d.Freeze()
@@ -142,7 +161,7 @@ func (c *TargetCache) artifactsFor(eng *match.Engine, tgt *relational.Schema, ne
 // featuresFor returns the shared target feature layer for tgt; see
 // artifactsFor.
 func (c *TargetCache) featuresFor(eng *match.Engine, tgt *relational.Schema) *match.TargetFeatures {
-	return c.artifactsFor(eng, tgt, false).feats
+	return c.artifactsFor(eng, tgt, false, 1).feats
 }
 
 // Forget drops the cached artifacts for tgt, for callers that mutate a

@@ -18,6 +18,18 @@ type ScoredCandidate struct {
 	// Base is the prototype (unconditioned) match the candidate was
 	// derived from.
 	Base match.Match
+	// condKey caches Cond.String(), rendered once per candidate view by
+	// the scoring loop; selection groups thousands of rescored matches
+	// by condition and must not re-render it per entry.
+	condKey string
+}
+
+// key returns the candidate's condition rendered as a grouping key.
+func (s *ScoredCandidate) key() string {
+	if s.condKey == "" && s.Match.Cond != nil {
+		return s.Match.Cond.String()
+	}
+	return s.condKey
 }
 
 // Improvement returns δc of §3: the candidate's confidence gain over its
@@ -272,6 +284,7 @@ func scoreOneCandidate(rs *relational.Table, bound *match.Bound, protos []match.
 	if view.Len() == 0 {
 		return nil
 	}
+	condKey := c.Cond.String()
 	rl := make([]ScoredCandidate, 0, len(protos))
 	for _, proto := range protos { // line 8
 		score, conf := bound.Score(view, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
@@ -280,7 +293,7 @@ func scoreOneCandidate(rs *relational.Table, bound *match.Bound, protos []match.
 		m.Cond = c.Cond
 		m.Score = score
 		m.Confidence = conf
-		rl = append(rl, ScoredCandidate{Match: m, Base: proto})
+		rl = append(rl, ScoredCandidate{Match: m, Base: proto, condKey: condKey})
 	}
 	return rl
 }
@@ -456,7 +469,8 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 		viewSize int
 	}
 	byTargetSrcCond := map[string]map[string]map[string]*viewGroup{}
-	for _, c := range rl {
+	for i := range rl {
+		c := &rl[i]
 		if c.Match.Confidence < opt.Tau {
 			continue // no longer a match between Vc and RT
 		}
@@ -472,7 +486,7 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 			conds = map[string]*viewGroup{}
 			srcs[sname] = conds
 		}
-		key := c.Match.Cond.String()
+		key := c.key()
 		g := conds[key]
 		if g == nil {
 			g = &viewGroup{cond: c.Match.Cond, viewSize: c.Match.Source.Len()}
@@ -606,6 +620,7 @@ func (r *runState) stageMatches(view *relational.Table, used map[string]bool, pr
 		if refined.Len() == 0 {
 			continue
 		}
+		condKey := cond.String()
 		for _, proto := range protos {
 			score, conf := bound.Score(refined, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
 			m := proto
@@ -613,7 +628,7 @@ func (r *runState) stageMatches(view *relational.Table, used map[string]bool, pr
 			m.Cond = cond
 			m.Score = score
 			m.Confidence = conf
-			rl = append(rl, ScoredCandidate{Match: m, Base: proto})
+			rl = append(rl, ScoredCandidate{Match: m, Base: proto, condKey: condKey})
 		}
 	}
 	return selectRefinements(protos, rl, r.opt), nil
@@ -640,8 +655,9 @@ func selectRefinements(protos []match.Match, rl []ScoredCandidate, opt Options) 
 		conf    float64
 	}
 	groups := map[string]*group{}
-	for _, c := range rl {
-		key := c.Match.Cond.String()
+	for i := range rl {
+		c := &rl[i]
+		key := c.key()
 		g := groups[key]
 		if g == nil {
 			g = &group{}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"ctxmatch/internal/classify"
+	"ctxmatch/internal/match"
 	"ctxmatch/internal/relational"
 	"ctxmatch/internal/tokenize"
 )
@@ -50,7 +51,7 @@ func inferCandidateViews(r *relational.Table, tgt *relational.Schema, hasMatches
 		}, rng))
 	case TgtClassInfer:
 		if fcls == nil {
-			fcls = newTargetClassifiers(tgt).freezeFresh()
+			fcls = newTargetClassifiers(tgt, 1).freezeFresh()
 		}
 		tagger := newTagger(fcls)
 		return candidatesFromFamilies(clusteredViewGen(r, clusterConfig{
@@ -176,42 +177,65 @@ var targetClassifierTrainings atomic.Int64
 // PreparedTarget contract: after PrepareTarget, matching must not train.
 func TargetClassifierTrainings() int64 { return targetClassifierTrainings.Load() }
 
+// classifierDomains lists the trainable domains in the canonical order
+// every training and freezing loop walks, so the dictionary interning
+// of frozen vocabularies is deterministic.
+var classifierDomains = []relational.Domain{
+	relational.DomainString, relational.DomainNumber, relational.DomainBool,
+}
+
 // newTargetClassifiers runs createTargetClassifier(D, RT) for every
-// domain with at least one compatible target attribute.
-func newTargetClassifiers(tgt *relational.Schema) *targetClassifiers {
+// domain with at least one compatible target attribute. The per-domain
+// trainings are independent, so they fan across up to workers
+// goroutines; each domain still trains sequentially in schema order,
+// which keeps the accumulated classifier state (including the
+// order-sensitive Gaussian float sums) bit-identical at any worker
+// count.
+func newTargetClassifiers(tgt *relational.Schema, workers int) *targetClassifiers {
 	targetClassifierTrainings.Add(1)
 	tc := &targetClassifiers{byDomain: map[relational.Domain]classify.Classifier{}}
 	if tgt == nil {
 		return tc
 	}
-	for _, domain := range []relational.Domain{relational.DomainString, relational.DomainNumber, relational.DomainBool} {
-		var cls classify.Classifier
-		for _, rt := range tgt.Tables {
-			for _, a := range rt.Attrs {
-				if !a.Type.Compatible(domain) {
-					continue
-				}
-				if cls == nil {
-					if domain == relational.DomainString {
-						cls = classify.NewNaiveBayes()
-					} else {
-						cls = classify.NewGaussian()
-					}
-				}
-				tag := rt.Name + "." + a.Name
-				i := rt.AttrIndex(a.Name)
-				for _, row := range rt.Rows {
-					if !row[i].IsNull() {
-						cls.Train(row[i], tag)
-					}
-				}
-			}
-		}
-		if cls != nil {
-			tc.byDomain[domain] = cls
+	trained := make([]classify.Classifier, len(classifierDomains))
+	match.ForEachIndex(len(classifierDomains), workers, func(di int) {
+		trained[di] = trainDomainClassifier(tgt, classifierDomains[di])
+	})
+	for di, domain := range classifierDomains {
+		if trained[di] != nil {
+			tc.byDomain[domain] = trained[di]
 		}
 	}
 	return tc
+}
+
+// trainDomainClassifier trains the one-domain classifier C_D^T of
+// Figure 7 over every compatible attribute of the target schema, in
+// schema order; nil when no attribute is compatible.
+func trainDomainClassifier(tgt *relational.Schema, domain relational.Domain) classify.Classifier {
+	var cls classify.Classifier
+	for _, rt := range tgt.Tables {
+		for _, a := range rt.Attrs {
+			if !a.Type.Compatible(domain) {
+				continue
+			}
+			if cls == nil {
+				if domain == relational.DomainString {
+					cls = classify.NewNaiveBayes()
+				} else {
+					cls = classify.NewGaussian()
+				}
+			}
+			tag := rt.Name + "." + a.Name
+			i := rt.AttrIndex(a.Name)
+			for _, row := range rt.Rows {
+				if !row[i].IsNull() {
+					cls.Train(row[i], tag)
+				}
+			}
+		}
+	}
+	return cls
 }
 
 // domains returns how many per-domain classifiers were trained, for
@@ -234,11 +258,15 @@ type frozenTargetClassifiers struct {
 }
 
 // freeze compiles every trained per-domain classifier, interning Naive
-// Bayes vocabularies into d (which must still be building).
+// Bayes vocabularies into d (which must still be building). Domains
+// freeze in canonical order so vocabulary interning assigns the same
+// IDs on every run.
 func (tc *targetClassifiers) freeze(d *tokenize.Dict) *frozenTargetClassifiers {
 	f := &frozenTargetClassifiers{}
-	for dom, cls := range tc.byDomain {
-		f.byDomain[dom] = classify.Freeze(cls, d)
+	for _, dom := range classifierDomains {
+		if cls, ok := tc.byDomain[dom]; ok {
+			f.byDomain[dom] = classify.Freeze(cls, d)
+		}
 	}
 	return f
 }
@@ -406,7 +434,7 @@ func families(r *relational.Table, tgt *relational.Schema, opt Options) []ViewFa
 	case SrcClassInfer:
 		cfg.factory = srcClassifierFactory
 	case TgtClassInfer:
-		cfg.factory = newTagger(newTargetClassifiers(tgt).freezeFresh()).factory
+		cfg.factory = newTagger(newTargetClassifiers(tgt, 1).freezeFresh()).factory
 	default:
 		return nil
 	}

@@ -47,7 +47,10 @@ func PrepareTarget(ctx context.Context, tgt *relational.Schema, opt Options) (*P
 		}
 	}
 	pt := &PreparedTarget{tgt: tgt, opt: opt, eng: opt.engine()}
-	pt.arts = opt.Cache.artifactsFor(pt.eng, tgt, opt.Inference == TgtClassInfer)
+	// The preparation itself fans across the run's worker budget:
+	// per-column feature extraction (merged deterministically into the
+	// shared dictionary) concurrent with per-domain classifier training.
+	pt.arts = opt.Cache.artifactsFor(pt.eng, tgt, opt.Inference == TgtClassInfer, opt.Parallelism)
 	return pt, nil
 }
 
@@ -71,16 +74,30 @@ type PrepStats struct {
 	DictGrams int
 	// DictBytes estimates the memory the interned dictionary pins.
 	DictBytes int
+	// IndexPostings and IndexBytes size the inverted gram-ID candidate
+	// index over the catalog's string columns (zero when prepared with
+	// an Exhaustive engine).
+	IndexPostings int
+	IndexBytes    int
+	// IndexHitRate is the lifetime fraction of (source column × indexed
+	// column) pairs that candidate retrieval could not prove scoreless —
+	// the share of the exhaustive cosine work the handle actually
+	// performs. Zero before any match.
+	IndexHitRate float64
 }
 
 // Stats reports the size of the catalog and of the pinned artifacts.
 func (pt *PreparedTarget) Stats() PrepStats {
+	ix := pt.arts.feats.IndexStats()
 	s := PrepStats{
 		Tables:         len(pt.tgt.Tables),
 		Classifiers:    pt.arts.tcls.domains(),
 		FeatureColumns: pt.arts.feats.Columns(),
 		DictGrams:      pt.arts.dict.Len(),
 		DictBytes:      pt.arts.dict.Bytes(),
+		IndexPostings:  ix.Postings,
+		IndexBytes:     ix.Bytes,
+		IndexHitRate:   ix.HitRate(),
 	}
 	for _, t := range pt.tgt.Tables {
 		s.Rows += len(t.Rows)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ctxmatch/internal/relational"
+)
+
+// TestPreparedTargetWithParallelism: the handle must clamp any
+// non-positive worker count to 1 — consistently with how the public
+// WithParallelism option treats its floor — instead of silently
+// carrying a zero or negative budget into the run's worker-pool
+// arithmetic, and it must never mutate the original handle.
+func TestPreparedTargetWithParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, tgt := invFixture(rng, 60, 4)
+	opt := DefaultOptions()
+	opt.Parallelism = 4
+	pt, err := PrepareTarget(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in, want int
+	}{
+		{-3, 1},
+		{-1, 1},
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{16, 16},
+	}
+	for _, tc := range cases {
+		got := pt.WithParallelism(tc.in)
+		if got.Options().Parallelism != tc.want {
+			t.Errorf("WithParallelism(%d): parallelism = %d, want %d",
+				tc.in, got.Options().Parallelism, tc.want)
+		}
+		if got == pt && tc.want != opt.Parallelism {
+			t.Errorf("WithParallelism(%d) returned the receiver instead of a copy", tc.in)
+		}
+		// The derived handle shares the pinned artifacts.
+		if got.arts != pt.arts {
+			t.Errorf("WithParallelism(%d) dropped the pinned artifacts", tc.in)
+		}
+	}
+	if pt.Options().Parallelism != 4 {
+		t.Errorf("original handle mutated: parallelism = %d, want 4", pt.Options().Parallelism)
+	}
+
+	// A clamped handle must still run — a negative budget must not
+	// reach the worker-pool arithmetic.
+	src, _ := invFixture(rand.New(rand.NewSource(2)), 40, 4)
+	res, err := ContextMatchPrepared(context.Background(),
+		relational.NewSchema("RS", src), pt.WithParallelism(-5))
+	if err != nil {
+		t.Fatalf("match through clamped handle: %v", err)
+	}
+	if len(res.Standard) == 0 {
+		t.Fatal("clamped handle produced no standard matches")
+	}
+}

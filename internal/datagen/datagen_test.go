@@ -396,3 +396,54 @@ func TestEvaluate(t *testing.T) {
 		t.Errorf("empty evaluation = %+v", pr)
 	}
 }
+
+func TestInventoryScale(t *testing.T) {
+	base := Inventory(InventoryConfig{
+		Rows: 40, TargetRows: 25, Gamma: 4, Target: Ryan, Seed: 3,
+	})
+	scaled := Inventory(InventoryConfig{
+		Rows: 40, TargetRows: 25, Gamma: 4, Target: Ryan, Seed: 3, Scale: 4,
+	})
+	if got, want := len(scaled.Target.Tables), 8; got != want {
+		t.Fatalf("scale 4 produced %d target tables, want %d", got, want)
+	}
+	rows := 0
+	seen := map[string]bool{}
+	for _, tt := range scaled.Target.Tables {
+		if seen[tt.Name] {
+			t.Fatalf("duplicate target table name %q", tt.Name)
+		}
+		seen[tt.Name] = true
+		if tt.Len() != 25 {
+			t.Errorf("table %s has %d rows, want 25", tt.Name, tt.Len())
+		}
+		rows += tt.Len()
+	}
+	if rows != 8*25 {
+		t.Errorf("total target rows = %d, want %d", rows, 8*25)
+	}
+	// The base pair must be byte-identical to the unscaled run: scaled
+	// fixtures extend the committed ones, never perturb them.
+	for i, name := range []string{"book", "music"} {
+		b, s := base.Target.Table(name), scaled.Target.Table(name)
+		if b == nil || s == nil {
+			t.Fatalf("pair table %q missing (base %v, scaled %v)", name, b, s)
+		}
+		if b.Len() != s.Len() {
+			t.Fatalf("table %d rows differ: %d vs %d", i, b.Len(), s.Len())
+		}
+		for r := range b.Rows {
+			for c := range b.Rows[r] {
+				if b.Rows[r][c].Key() != s.Rows[r][c].Key() {
+					t.Fatalf("%s row %d col %d differs between scaled and unscaled", name, r, c)
+				}
+			}
+		}
+	}
+	// The gold standard still covers only the base pair.
+	for _, g := range scaled.Gold {
+		if g.TargetTable != "book" && g.TargetTable != "music" {
+			t.Errorf("gold pair references scaled table %q", g.TargetTable)
+		}
+	}
+}

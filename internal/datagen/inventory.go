@@ -48,6 +48,17 @@ type InventoryConfig struct {
 	// (populated with real-estate data) plus n/4 categorical attributes
 	// (over the ItemType domain) to the source (§5.5).
 	ExtraAttrs int
+	// Scale grows the target catalog to enterprise size: values above 1
+	// append Scale-1 additional book/music table pairs, cycling through
+	// the three student layouts with numbered table names, each pair
+	// sampled with TargetRows rows per table from the same target
+	// stream. The base pair (and therefore the gold standard, which
+	// covers only it) is byte-identical to a Scale ≤ 1 run, so scaled
+	// fixtures extend the committed ones instead of replacing them. A
+	// Scale-S catalog holds 2·S·TargetRows rows across 2·S tables — the
+	// regime where exhaustive all-pairs scoring degrades linearly with
+	// catalog width and candidate-indexed scoring does not.
+	Scale int
 	// NoDistractors drops the auxiliary source tables. By default the
 	// source schema contains, besides the combined item table, a
 	// Suppliers table whose contact names and phone numbers superficially
@@ -335,6 +346,17 @@ func Inventory(cfg InventoryConfig) *Dataset {
 	}
 	bookT := mkTarget(layout.bookTable, layout.book, true)
 	musicT := mkTarget(layout.musicTable, layout.music, false)
+	targetTables := []*relational.Table{bookT, musicT}
+	for pair := 2; pair <= cfg.Scale; pair++ {
+		// Extra pairs cycle through the student layouts, so a scaled
+		// catalog mixes naming conventions the way a real enterprise
+		// schema corpus does; numbered names keep tables distinct.
+		l := layouts[AllTargets[pair%len(AllTargets)]]
+		targetTables = append(targetTables,
+			mkTarget(fmt.Sprintf("%s%d", l.bookTable, pair), l.book, true),
+			mkTarget(fmt.Sprintf("%s%d", l.musicTable, pair), l.music, false),
+		)
+	}
 
 	// --- gold standard ---
 	var gold []GoldPair
@@ -360,7 +382,7 @@ func Inventory(cfg InventoryConfig) *Dataset {
 
 	return &Dataset{
 		Source:      source,
-		Target:      relational.NewSchema(string(cfg.Target), bookT, musicT),
+		Target:      relational.NewSchema(string(cfg.Target), targetTables...),
 		Gold:        gold,
 		ContextAttr: "ItemType",
 		SideOf: func(v relational.Value) string {

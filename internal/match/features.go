@@ -1,6 +1,8 @@
 package match
 
 import (
+	"math"
+	"sync"
 	"sync/atomic"
 
 	"ctxmatch/internal/relational"
@@ -30,7 +32,16 @@ type TargetFeatures struct {
 	dict      *tokenize.Dict
 	ngrams    map[colKey]*tokenize.IDVector
 	numbers   map[colKey][]float64
+	numRanges map[colKey][2]float64
 	names     map[string]*tokenize.IDVector
+
+	// strCols lists the string-domain target columns in schema order —
+	// the dense column numbering of the candidate index — and colDense
+	// inverts it. index is the inverted gram-ID candidate index over
+	// those columns (nil when the engine runs Exhaustive).
+	strCols  []colKey
+	colDense map[colKey]int
+	index    *tokenize.Index
 }
 
 // PrecomputeTarget scans every column of tgt once and returns the shared
@@ -50,6 +61,18 @@ func (e *Engine) PrecomputeTarget(tgt *relational.Schema) *TargetFeatures {
 // every artifact sharing the ID space (e.g. frozen classifiers) has
 // been compiled into it.
 func (e *Engine) PrecomputeTargetInto(tgt *relational.Schema, d *tokenize.Dict) *TargetFeatures {
+	return e.PrecomputeTargetParallel(tgt, d, 1)
+}
+
+// PrecomputeTargetParallel is PrecomputeTargetInto with the per-column
+// scans fanned across up to workers goroutines. Each column's grams are
+// interned into a column-local dictionary, and the locals merge into d
+// sequentially in schema order — reproducing exactly the ID assignment
+// of a single sequential pass, so the resulting feature layer is
+// bit-identical at any worker count. Attribute-name vectors intern
+// after every column (the canonical order all worker counts share), and
+// the candidate index builds last, over the final vectors.
+func (e *Engine) PrecomputeTargetParallel(tgt *relational.Schema, d *tokenize.Dict, workers int) *TargetFeatures {
 	targetPrecomputes.Add(1)
 	tf := &TargetFeatures{
 		tgt:       tgt,
@@ -57,26 +80,77 @@ func (e *Engine) PrecomputeTargetInto(tgt *relational.Schema, d *tokenize.Dict) 
 		dict:      d,
 		ngrams:    map[colKey]*tokenize.IDVector{},
 		numbers:   map[colKey][]float64{},
+		numRanges: map[colKey][2]float64{},
 		names:     map[string]*tokenize.IDVector{},
 	}
 	if tgt == nil {
 		return tf
 	}
+	type job struct {
+		t      *relational.Table
+		attr   string
+		domain relational.Domain
+	}
+	var jobs []job
+	for _, tt := range tgt.Tables {
+		for _, a := range tt.Attrs {
+			if dom := a.Type.Domain(); dom == relational.DomainString || dom == relational.DomainNumber {
+				jobs = append(jobs, job{tt, a.Name, dom})
+			}
+		}
+	}
+	type slot struct {
+		local *tokenize.Dict
+		vec   *tokenize.IDVector
+		nums  []float64
+	}
+	slots := make([]slot, len(jobs))
+	var builders sync.Pool
+	builders.New = func() any { return tokenize.NewVectorBuilder() }
+	ForEachIndex(len(jobs), workers, func(i int) {
+		b := builders.Get().(*tokenize.VectorBuilder)
+		defer builders.Put(b)
+		j := jobs[i]
+		switch j.domain {
+		case relational.DomainString:
+			ld := tokenize.NewDict()
+			slots[i] = slot{local: ld, vec: buildColumnVector(b, ld, j.t, j.attr, tf.maxValues)}
+		case relational.DomainNumber:
+			slots[i] = slot{nums: numericColumn(j.t, j.attr)}
+		}
+	})
+	for i, j := range jobs {
+		key := colKey{j.t, j.attr}
+		switch j.domain {
+		case relational.DomainString:
+			tf.ngrams[key] = tokenize.Remapped(slots[i].vec, slots[i].local.MergeInto(d))
+			tf.strCols = append(tf.strCols, key)
+		case relational.DomainNumber:
+			tf.numbers[key] = slots[i].nums
+			if !e.Exhaustive {
+				// Per-column range statistics ride with the candidate
+				// subsystem; the Exhaustive baseline rescans per pair.
+				tf.numRanges[key] = numericRange(slots[i].nums)
+			}
+		}
+	}
 	b := tokenize.NewVectorBuilder()
 	for _, tt := range tgt.Tables {
 		for _, a := range tt.Attrs {
-			key := colKey{tt, a.Name}
-			switch a.Type.Domain() {
-			case relational.DomainString:
-				tf.ngrams[key] = buildColumnVector(b, d, tt, a.Name, tf.maxValues)
-			case relational.DomainNumber:
-				tf.numbers[key] = numericColumn(tt, a.Name)
-			}
 			if _, ok := tf.names[a.Name]; !ok {
 				b.AddTrigrams(d, a.Name)
 				tf.names[a.Name] = b.Build()
 			}
 		}
+	}
+	if !e.Exhaustive && len(tf.strCols) > 0 {
+		cols := make([]*tokenize.IDVector, len(tf.strCols))
+		tf.colDense = make(map[colKey]int, len(tf.strCols))
+		for i, key := range tf.strCols {
+			cols[i] = tf.ngrams[key]
+			tf.colDense[key] = i
+		}
+		tf.index = tokenize.BuildIndex(cols, d.Len())
 	}
 	return tf
 }
@@ -102,6 +176,18 @@ func buildColumnVector(b *tokenize.VectorBuilder, d *tokenize.Dict, t *relationa
 		}
 	}
 	return b.Build()
+}
+
+// numericRange returns the [min, max] of vals (+Inf, -Inf when empty),
+// accumulated with math.Min/Max in slice order — the same fold a
+// pairwise scan performs, so combining two cached ranges reproduces the
+// combined scan bit-for-bit.
+func numericRange(vals []float64) [2]float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return [2]float64{lo, hi}
 }
 
 // numericColumn collects the column's parseable numeric values.
@@ -147,6 +233,25 @@ func (tf *TargetFeatures) Columns() int {
 		return 0
 	}
 	return len(tf.ngrams) + len(tf.numbers)
+}
+
+// Index returns the inverted gram-ID candidate index over the layer's
+// string columns, or nil when the layer was built exhaustively (or
+// holds no string columns).
+func (tf *TargetFeatures) Index() *tokenize.Index {
+	if tf == nil {
+		return nil
+	}
+	return tf.index
+}
+
+// IndexStats snapshots the candidate index's size and retrieval
+// counters (zero when the layer has no index).
+func (tf *TargetFeatures) IndexStats() tokenize.IndexStats {
+	if tf == nil {
+		return tokenize.IndexStats{}
+	}
+	return tf.index.Stats()
 }
 
 // covers reports whether the layer can answer every target-side feature

@@ -10,6 +10,7 @@ package match
 import (
 	"cmp"
 	"fmt"
+	"maps"
 	"math"
 	"slices"
 	"strings"
@@ -100,6 +101,39 @@ type FeatureCache struct {
 	ngrams  map[colKey]*tokenize.IDVector
 	numbers map[colKey][]float64
 	names   map[string]*tokenize.IDVector
+	// numRanges memoizes per-column numeric [min, max] so pairwise
+	// matchers combine cached ranges instead of rescanning columns.
+	numRanges map[colKey][2]float64
+	// rows memoizes, per source column, the indexed batch scores
+	// against every target column of the shared candidate index: one
+	// inverted-index retrieval replaces one merge walk per target
+	// column, and the normalization pass and StandardMatches read the
+	// same row.
+	rows map[colKey][]float64
+	// segs memoizes, per base column, the per-row tokenization encoded
+	// as dense slot indices, so every candidate view's column vector
+	// accumulates as a pure array-increment pass instead of re-folding
+	// and re-hashing the sample's strings once per view (see
+	// vectorFromSegments). slotCounts/slotTouched are the reusable
+	// accumulation scratch.
+	segs        map[colKey]*colSegments
+	slotCounts  []float64
+	slotTouched []int32
+	rowIdx      []int
+}
+
+// colSegments is the per-row tokenization of one base column compiled
+// against the frozen shared dictionary: ids holds the column's
+// distinct encoded gram IDs in ascending order (dictionary IDs first,
+// then the column's out-of-vocabulary grams encoded from the
+// dictionary's end in first-occurrence order), and rows holds each
+// row's grams as indices into ids. A nil row marks a NULL value
+// (which does not count toward the n-gram value cap); a non-nil empty
+// row is a value with no grams.
+type colSegments struct {
+	ids      []uint32
+	firstOOV int
+	rows     [][]int32
 }
 
 type colKey struct {
@@ -111,10 +145,13 @@ type colKey struct {
 // dictionary.
 func NewFeatureCache() *FeatureCache {
 	c := &FeatureCache{
-		builder: tokenize.NewVectorBuilder(),
-		ngrams:  map[colKey]*tokenize.IDVector{},
-		numbers: map[colKey][]float64{},
-		names:   map[string]*tokenize.IDVector{},
+		builder:   tokenize.NewVectorBuilder(),
+		ngrams:    map[colKey]*tokenize.IDVector{},
+		numbers:   map[colKey][]float64{},
+		names:     map[string]*tokenize.IDVector{},
+		numRanges: map[colKey][2]float64{},
+		rows:      map[colKey][]float64{},
+		segs:      map[colKey]*colSegments{},
 	}
 	c.dict = tokenize.NewDict()
 	return c
@@ -142,6 +179,9 @@ func (c *FeatureCache) release() {
 	clear(c.ngrams)
 	clear(c.numbers)
 	clear(c.names)
+	clear(c.numRanges)
+	clear(c.rows)
+	clear(c.segs)
 	c.shared = nil
 	c.dict = nil
 	featureCachePool.Put(c)
@@ -162,9 +202,181 @@ func (c *FeatureCache) NGramVector(t *relational.Table, attr string, maxValues i
 	if v, ok := c.ngrams[key]; ok {
 		return v
 	}
-	vec := buildColumnVector(c.builder, c.dict, t, attr, maxValues)
+	var vec *tokenize.IDVector
+	switch {
+	case c.shared != nil && c.shared.index != nil && c.dict.Frozen() &&
+		t.IsView() && len(t.Projection) == 0 &&
+		len(t.Rows) > 0 && len(t.SelectedRows) == len(t.Rows):
+		// len(t.Rows) > 0 matters: a zero-row view has nil SelectedRows,
+		// which vectorFromSegments would otherwise read as "all rows".
+		vec = c.vectorFromSegments(t.Base, attr, maxValues, t.SelectedRows)
+	case c.shared != nil && c.shared.index != nil && c.dict.Frozen() && !t.IsView():
+		// Base columns also assemble from their own segments: the
+		// column is tokenized once (segmentsFor) and both its aggregate
+		// vector and every view over it become integer passes.
+		vec = c.vectorFromSegments(t, attr, maxValues, nil)
+	default:
+		vec = buildColumnVector(c.builder, c.dict, t, attr, maxValues)
+	}
 	c.ngrams[key] = vec
 	return vec
+}
+
+// emptySeg marks a non-NULL row that tokenizes to no grams, keeping it
+// distinct from the nil segment of a NULL row (which does not count
+// toward the n-gram value cap).
+var emptySeg = []uint32{}
+
+// segmentsFor returns (compiling on first use) the slot-encoded
+// per-row segments of one base column; see colSegments.
+func (c *FeatureCache) segmentsFor(t *relational.Table, attr string) *colSegments {
+	key := colKey{t, attr}
+	if s, ok := c.segs[key]; ok {
+		return s
+	}
+	segs := compileSegments(c.dict, t, attr)
+	c.segs[key] = segs
+	return segs
+}
+
+// compileSegments tokenizes one column once and slot-encodes every
+// row's grams; see colSegments. It only reads the (frozen) dictionary,
+// so compilations for different columns may run concurrently.
+func compileSegments(d *tokenize.Dict, t *relational.Table, attr string) *colSegments {
+	segs := &colSegments{rows: make([][]int32, len(t.Rows))}
+	i := t.AttrIndex(attr)
+	if i >= 0 {
+		oovBase := uint32(d.Len())
+		oov := map[string]uint32{}
+		raw := make([][]uint32, len(t.Rows))
+		distinct := map[uint32]struct{}{}
+		for ri, row := range t.Rows {
+			v := row[i]
+			if v.IsNull() {
+				continue
+			}
+			seg := emptySeg
+			for g := range tokenize.TrigramSeq(v.Str()) {
+				id, ok := d.Lookup(g)
+				if !ok {
+					id, ok = oov[g]
+					if !ok {
+						id = oovBase + uint32(len(oov))
+						oov[g] = id
+					}
+				}
+				seg = append(seg, id)
+				distinct[id] = struct{}{}
+			}
+			raw[ri] = seg
+		}
+		segs.ids = make([]uint32, 0, len(distinct))
+		for id := range distinct {
+			segs.ids = append(segs.ids, id)
+		}
+		slices.Sort(segs.ids)
+		segs.firstOOV = len(segs.ids)
+		slotOf := make(map[uint32]int32, len(segs.ids))
+		for slot, id := range segs.ids {
+			slotOf[id] = int32(slot)
+			if id >= oovBase && slot < segs.firstOOV {
+				segs.firstOOV = slot
+			}
+		}
+		for ri, seg := range raw {
+			if seg == nil {
+				continue
+			}
+			out := make([]int32, len(seg))
+			for k, id := range seg {
+				out[k] = slotOf[id]
+			}
+			segs.rows[ri] = out
+		}
+	}
+	return segs
+}
+
+// vectorFromSegments accumulates the trigram vector of a column from
+// base's slot-encoded segments over the selected row indices (nil
+// selects every row — the base column itself): a pure array-increment
+// pass with no string folding or hashing, bit-identical to
+// re-tokenizing the selection. Known-gram slots materialize in
+// ascending ID order and out-of-vocabulary slots in the selection's
+// first-touch order with IDs assigned from the frozen dictionary's end
+// — exactly the IDs, sort order and norm summation order
+// VectorBuilder.AddGram + Build would have produced.
+func (c *FeatureCache) vectorFromSegments(base *relational.Table, attr string, maxValues int, selected []int) *tokenize.IDVector {
+	segs := c.segmentsFor(base, attr)
+	if cap(c.slotCounts) < len(segs.ids) {
+		c.slotCounts = make([]float64, len(segs.ids))
+	}
+	if selected == nil {
+		selected = c.allRows(len(segs.rows))
+	}
+	vec, touched := segs.vector(uint32(c.dict.Len()), selected, maxValues,
+		c.slotCounts[:len(segs.ids)], c.slotTouched[:0])
+	c.slotTouched = touched[:0] // keep the grown capacity
+	return vec
+}
+
+// vector accumulates the selection's trigram vector from the segments
+// using caller-supplied scratch (counts zeroed, len == len(segs.ids);
+// touched empty). It returns the scratch touched slice (zeroed again)
+// so callers can recycle its capacity.
+func (segs *colSegments) vector(oovBase uint32, selected []int, maxValues int, counts []float64, touched []int32) (*tokenize.IDVector, []int32) {
+	if len(segs.ids) == 0 {
+		return tokenize.NewIDVector(nil, nil, 0), touched
+	}
+	n := 0
+	for _, ri := range selected {
+		row := segs.rows[ri]
+		if row == nil {
+			continue // NULL in the base row
+		}
+		for _, slot := range row {
+			if counts[slot] == 0 {
+				touched = append(touched, slot)
+			}
+			counts[slot]++
+		}
+		n++
+		if maxValues > 0 && n >= maxValues {
+			break
+		}
+	}
+	if len(touched) == 0 {
+		return tokenize.NewIDVector(nil, nil, 0), touched
+	}
+	ids := make([]uint32, 0, len(touched))
+	cs := make([]float64, 0, len(touched))
+	var norm2 float64
+	// Known grams: ascending slot order is ascending ID order.
+	for slot := 0; slot < segs.firstOOV; slot++ {
+		if counts[slot] == 0 {
+			continue
+		}
+		ids = append(ids, segs.ids[slot])
+		cs = append(cs, counts[slot])
+		norm2 += counts[slot] * counts[slot]
+	}
+	// OOV grams: IDs assigned from the dictionary's end in the
+	// selection's first-touch order, which is also their ascending
+	// final-ID order.
+	nOOV := uint32(0)
+	for _, slot := range touched {
+		if int(slot) < segs.firstOOV {
+			continue
+		}
+		ids = append(ids, oovBase+nOOV)
+		nOOV++
+		cs = append(cs, counts[slot])
+		norm2 += counts[slot] * counts[slot]
+	}
+	for _, slot := range touched {
+		counts[slot] = 0
+	}
+	return tokenize.NewIDVector(ids, cs, math.Sqrt(norm2)), touched
 }
 
 // Numeric returns the column's numeric values, computed at most once per
@@ -182,6 +394,33 @@ func (c *FeatureCache) Numeric(t *relational.Table, attr string) []float64 {
 	out := numericColumn(t, attr)
 	c.numbers[key] = out
 	return out
+}
+
+// NumericRange returns the [min, max] of the column's numeric values
+// (+Inf, -Inf when empty). Min over cached per-column minima equals min
+// over the concatenated scan bit-for-bit, so matchers can combine two
+// columns' cached ranges instead of rescanning both columns per pair —
+// the scan that made numeric scoring quadratic in catalog width. The
+// per-column statistics are part of the candidate-generation subsystem:
+// an Exhaustive engine's shared layer carries none, and its runs
+// rescan per call, measuring the baseline §2.3 loop faithfully.
+func (c *FeatureCache) NumericRange(t *relational.Table, attr string) (lo, hi float64) {
+	key := colKey{t, attr}
+	if c.shared != nil {
+		if r, ok := c.shared.numRanges[key]; ok {
+			return r[0], r[1]
+		}
+		if c.shared.index == nil {
+			r := numericRange(c.Numeric(t, attr))
+			return r[0], r[1]
+		}
+	}
+	if r, ok := c.numRanges[key]; ok {
+		return r[0], r[1]
+	}
+	r := numericRange(c.Numeric(t, attr))
+	c.numRanges[key] = r
+	return r[0], r[1]
 }
 
 // NameVector returns the trigram ID vector of an attribute name,
@@ -202,6 +441,56 @@ func (c *FeatureCache) NameVector(name string) *tokenize.IDVector {
 	return v
 }
 
+// NGramCosine returns the cosine similarity of the two columns'
+// aggregate trigram vectors. When the shared layer's candidate index
+// covers the target column, the source column is batch-scored against
+// every indexed column in one inverted-index retrieval (memoized in
+// rows, so the normalization pass pays it once and every later pair
+// lookup — including every rescoring of the same column — is O(1));
+// otherwise it falls back to the pairwise merge walk. Both paths
+// produce bit-identical values — the index accumulates each column's
+// dot product in the merge walk's own summation order, and columns
+// sharing no gram score exactly 0 either way.
+func (c *FeatureCache) NGramCosine(src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string, maxValues int) float64 {
+	if c.shared != nil && c.shared.index != nil && maxValues == c.shared.maxValues {
+		if ci, ok := c.shared.colDense[colKey{tgt, tgtAttr}]; ok {
+			return c.scoreRow(src, srcAttr, maxValues)[ci]
+		}
+	}
+	return tokenize.CosineIDs(
+		c.NGramVector(src, srcAttr, maxValues),
+		c.NGramVector(tgt, tgtAttr, maxValues),
+	)
+}
+
+// scoreRow returns the memoized indexed scores of one source column
+// against every column of the shared candidate index. No single-entry
+// shortcut state here: the parallel normalization pass calls this
+// concurrently on a prewarmed (and therefore read-only) rows map, so
+// scoreRow must not write anything when it hits.
+func (c *FeatureCache) scoreRow(src *relational.Table, srcAttr string, maxValues int) []float64 {
+	key := colKey{src, srcAttr}
+	if row, ok := c.rows[key]; ok {
+		return row
+	}
+	row := make([]float64, c.shared.index.Columns())
+	c.shared.index.ScoreColumns(c.NGramVector(src, srcAttr, maxValues), row)
+	c.rows[key] = row
+	return row
+}
+
+// allRows returns the identity row selection [0, n), reusing (and
+// growing) a cached slice.
+func (c *FeatureCache) allRows(n int) []int {
+	if cap(c.rowIdx) < n {
+		c.rowIdx = make([]int, n)
+		for i := range c.rowIdx {
+			c.rowIdx[i] = i
+		}
+	}
+	return c.rowIdx[:n]
+}
+
 // Engine bundles a matcher set. The zero value is unusable; construct
 // with NewEngine (default matcher suite) or assemble Matchers directly.
 //
@@ -218,6 +507,12 @@ type Engine struct {
 	// gate, restoring the pure §2.3 normalization (exposed for the
 	// ablation benchmarks).
 	EvidenceScale float64
+	// Exhaustive disables the inverted gram-ID candidate index:
+	// PrecomputeTarget skips building it and every pair falls back to
+	// the per-pair merge-walk cosine. Scores are bit-identical either
+	// way; the flag exists so benchmarks and property tests can pit the
+	// indexed path against the exhaustive one.
+	Exhaustive bool
 }
 
 // NewEngine returns an engine with the default matcher suite: attribute
@@ -380,23 +675,51 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 // built-in matcher suite.
 func (b *Bound) prewarmParallel(workers int) {
 	type slot struct {
-		vec  *tokenize.IDVector
-		nums []float64
-		name *tokenize.IDVector
+		vec    *tokenize.IDVector
+		segs   *colSegments
+		row    []float64
+		nums   []float64
+		numsOK bool
+		rng    [2]float64
+		name   *tokenize.IDVector
 	}
 	attrs := b.src.Attrs
 	slots := make([]slot, len(attrs))
 	var builders sync.Pool
 	builders.New = func() any { return tokenize.NewVectorBuilder() }
+	ix := b.cache.shared.index
+	dictLen := uint32(b.cache.dict.Len())
+	allRows := b.cache.allRows(len(b.src.Rows))
 	ForEachIndex(len(attrs), workers, func(i int) {
 		builder := builders.Get().(*tokenize.VectorBuilder)
 		defer builders.Put(builder)
 		a := attrs[i]
 		switch a.Type.Domain() {
 		case relational.DomainString:
-			slots[i].vec = buildColumnVector(builder, b.cache.dict, b.src, a.Name, b.cache.shared.maxValues)
+			if ix != nil {
+				// Compile the column's per-row segments once (worker-local
+				// scratch) and derive the vector and the indexed score
+				// row from them, so the normalization pass — and every
+				// candidate view over this column — stays read-only on
+				// the cache.
+				slots[i].segs = compileSegments(b.cache.dict, b.src, a.Name)
+				slots[i].vec, _ = slots[i].segs.vector(dictLen, allRows,
+					b.cache.shared.maxValues,
+					make([]float64, len(slots[i].segs.ids)), nil)
+				slots[i].row = make([]float64, ix.Columns())
+				ix.ScoreColumns(slots[i].vec, slots[i].row)
+			} else {
+				slots[i].vec = buildColumnVector(builder, b.cache.dict, b.src, a.Name, b.cache.shared.maxValues)
+			}
 		case relational.DomainNumber:
 			slots[i].nums = numericColumn(b.src, a.Name)
+			slots[i].numsOK = true
+			if ix != nil {
+				// Range statistics ride with the candidate subsystem;
+				// the Exhaustive baseline rescans per pair and would
+				// never read this.
+				slots[i].rng = numericRange(slots[i].nums)
+			}
 		}
 		if _, ok := b.cache.shared.names[a.Name]; !ok {
 			builder.AddTrigrams(b.cache.dict, a.Name)
@@ -407,8 +730,17 @@ func (b *Bound) prewarmParallel(workers int) {
 		if slots[i].vec != nil {
 			b.cache.ngrams[colKey{b.src, a.Name}] = slots[i].vec
 		}
-		if slots[i].nums != nil {
+		if slots[i].segs != nil {
+			b.cache.segs[colKey{b.src, a.Name}] = slots[i].segs
+		}
+		if slots[i].row != nil {
+			b.cache.rows[colKey{b.src, a.Name}] = slots[i].row
+		}
+		if slots[i].numsOK {
 			b.cache.numbers[colKey{b.src, a.Name}] = slots[i].nums
+			if ix != nil {
+				b.cache.numRanges[colKey{b.src, a.Name}] = slots[i].rng
+			}
 		}
 		if slots[i].name != nil {
 			b.cache.names[a.Name] = slots[i].name
@@ -440,13 +772,25 @@ func (b *Bound) normalizeParallel(workers int) {
 // Clone returns a Bound sharing the receiver's engine, source, targets
 // and normalization statistics but owning a fresh pooled FeatureCache,
 // so concurrent candidate-view scoring can proceed with one clone per
-// worker. Release each clone independently.
+// worker. The clone's cache starts seeded with the parent's per-column
+// artifacts — vectors, numeric features, score rows, compiled segments
+// — all immutable once built, so clones never re-tokenize the columns
+// the parent already compiled. The parent's cache must be past its
+// write phase (Bind has returned) when Clone is called, which is when
+// candidate scoring clones. Release each clone independently.
 func (b *Bound) Clone() *Bound {
+	c := acquireFeatureCache(b.cache.shared)
+	maps.Copy(c.ngrams, b.cache.ngrams)
+	maps.Copy(c.numbers, b.cache.numbers)
+	maps.Copy(c.names, b.cache.names)
+	maps.Copy(c.numRanges, b.cache.numRanges)
+	maps.Copy(c.rows, b.cache.rows)
+	maps.Copy(c.segs, b.cache.segs)
 	return &Bound{
 		engine:  b.engine,
 		src:     b.src,
 		tgt:     b.tgt,
-		cache:   acquireFeatureCache(b.cache.shared),
+		cache:   c,
 		targets: b.targets,
 		norm:    b.norm,
 	}

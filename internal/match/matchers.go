@@ -63,7 +63,10 @@ func (ValueNGramMatcher) Applicable(src *relational.Table, srcAttr string, tgt *
 // Score implements AttrMatcher. The cosine is squared: mixed-population
 // columns (the ambiguous case contextual matching resolves) still share
 // many grams with each target, and squaring stretches the gap between
-// "half the column matches" and "all of the column matches".
+// "half the column matches" and "all of the column matches". The cosine
+// goes through the shared candidate index when one covers the target
+// column (see FeatureCache.NGramCosine) — bit-identical to the pairwise
+// merge walk.
 func (m ValueNGramMatcher) Score(cache *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64 {
 	sa, ok := src.Attr(srcAttr)
 	if !ok || sa.Type.Domain() != relational.DomainString {
@@ -73,10 +76,7 @@ func (m ValueNGramMatcher) Score(cache *FeatureCache, src *relational.Table, src
 	if !ok || ta.Type.Domain() != relational.DomainString {
 		return 0
 	}
-	c := tokenize.CosineIDs(
-		cache.NGramVector(src, srcAttr, m.MaxValues),
-		cache.NGramVector(tgt, tgtAttr, m.MaxValues),
-	)
+	c := cache.NGramCosine(src, srcAttr, tgt, tgtAttr, m.MaxValues)
 	return c * c
 }
 
@@ -128,13 +128,11 @@ func (m NumericMatcher) Score(cache *FeatureCache, src *relational.Table, srcAtt
 	if bins <= 0 {
 		bins = 16
 	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, x := range xs {
-		lo, hi = math.Min(lo, x), math.Max(hi, x)
-	}
-	for _, y := range ys {
-		lo, hi = math.Min(lo, y), math.Max(hi, y)
-	}
+	// Combine the cached per-column ranges instead of rescanning both
+	// columns: min-of-mins equals the concatenated scan bit-for-bit.
+	loX, hiX := cache.NumericRange(src, srcAttr)
+	loY, hiY := cache.NumericRange(tgt, tgtAttr)
+	lo, hi := math.Min(loX, loY), math.Max(hiX, hiY)
 	if hi == lo {
 		return 1 // both columns are the same constant
 	}

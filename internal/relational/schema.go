@@ -40,6 +40,11 @@ type Table struct {
 	Base       *Table    // base table the view selects from
 	Cond       Condition // selection condition, nil means true
 	Projection []string  // projected attribute names; empty means *
+	// SelectedRows holds, for a select-only view, the indices into
+	// Base.Rows of the rows satisfying Cond, in base order. Feature
+	// layers use it to derive view column vectors from per-row
+	// precomputes instead of re-tokenizing the sample per view.
+	SelectedRows []int
 }
 
 // NewTable creates an empty base table.
@@ -135,9 +140,10 @@ func (t *Table) Select(name string, c Condition) *Table {
 		Base:  t,
 		Cond:  c,
 	}
-	for _, row := range t.Rows {
+	for ri, row := range t.Rows {
 		if c == nil || c.Eval(t, row) {
 			v.Rows = append(v.Rows, row)
+			v.SelectedRows = append(v.SelectedRows, ri)
 		}
 	}
 	return v

@@ -78,6 +78,9 @@ func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Sc
 		FeatureColumns: st.FeatureColumns,
 		DictGrams:      st.DictGrams,
 		DictBytes:      st.DictBytes,
+		IndexPostings:  st.IndexPostings,
+		IndexBytes:     st.IndexBytes,
+		IndexHitRate:   st.IndexHitRate,
 	}
 	r.entries[name] = &catalogEntry{target: t, info: info}
 	r.touchLocked(name)
@@ -135,13 +138,18 @@ func (r *Registry) Delete(name string) bool {
 }
 
 // List returns the prepared catalogs' info, most recently used first,
-// without touching recency.
+// without touching recency. The index hit rate is refreshed from the
+// live handle on every listing; the other fields were fixed at prepare
+// time.
 func (r *Registry) List() []CatalogInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]CatalogInfo, 0, len(r.entries))
 	for i := len(r.order) - 1; i >= 0; i-- {
-		out = append(out, r.entries[r.order[i]].info)
+		e := r.entries[r.order[i]]
+		info := e.info
+		info.IndexHitRate = e.target.Stats().IndexHitRate
+		out = append(out, info)
 	}
 	return out
 }

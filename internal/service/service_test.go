@@ -127,11 +127,32 @@ func TestEndToEndMatch(t *testing.T) {
 	if info.Classifiers == 0 || info.FeatureColumns == 0 {
 		t.Fatalf("info artifact sizes not populated: %+v", info)
 	}
+	if info.IndexPostings == 0 || info.IndexBytes == 0 {
+		t.Fatalf("candidate index sizes not populated: %+v", info)
+	}
+	if info.IndexHitRate != 0 {
+		t.Fatalf("hit rate before any match = %v, want 0", info.IndexHitRate)
+	}
 
 	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/inventory/match",
 		matchRequest{Source: srcDoc})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("match status = %d: %s", resp.StatusCode, body)
+	}
+	// The listing refreshes the index hit rate from the live handle, so
+	// after one match it must have moved off zero.
+	respList, listBody := doJSON(t, http.MethodGet, ts.URL+"/v1/catalogs", nil)
+	if respList.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d: %s", respList.StatusCode, listBody)
+	}
+	var listing struct {
+		Catalogs []CatalogInfo `json:"catalogs"`
+	}
+	if err := json.Unmarshal(listBody, &listing); err != nil || len(listing.Catalogs) != 1 {
+		t.Fatalf("decoding listing: %v\n%s", err, listBody)
+	}
+	if hr := listing.Catalogs[0].IndexHitRate; hr <= 0 || hr > 1 {
+		t.Fatalf("listed hit rate after a match = %v, want in (0,1]", hr)
 	}
 	// The response must be the library's versioned envelope.
 	var envelope struct {

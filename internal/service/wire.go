@@ -114,6 +114,13 @@ type CatalogInfo struct {
 	// prepared handle pins (see ctxmatch.TargetStats).
 	DictGrams int `json:"dict_grams"`
 	DictBytes int `json:"dict_bytes"`
+	// IndexPostings and IndexBytes size the inverted gram-ID candidate
+	// index of the prepared handle; IndexHitRate is the live fraction
+	// of column pairs the index could not prune (refreshed on every
+	// listing — it converges as match traffic flows).
+	IndexPostings int     `json:"index_postings"`
+	IndexBytes    int     `json:"index_bytes"`
+	IndexHitRate  float64 `json:"index_hit_rate"`
 }
 
 // matchRequest is the JSON body of POST /v1/catalogs/{name}/match.

@@ -37,10 +37,79 @@ func (d *Dict) Intern(g string) uint32 {
 	if d.frozen {
 		panic("tokenize: Intern on a frozen Dict")
 	}
-	id := uint32(len(d.grams))
+	id := nextID(len(d.grams))
 	d.ids[g] = id
 	d.grams = append(d.grams, g)
 	return id
+}
+
+// nextID converts a dictionary size to the ID the next gram receives,
+// guarding the uint32 boundary: NoID is reserved as the unknown-gram
+// sentinel, so a dictionary holding NoID grams cannot grow (interning
+// one more would alias the sentinel and silently corrupt every frozen
+// classifier's OOV routing).
+func nextID(n int) uint32 {
+	if uint64(n) >= uint64(NoID) {
+		panic("tokenize: Dict overflow: gram count reached the uint32 sentinel")
+	}
+	return uint32(n)
+}
+
+// MergeInto interns every gram of d into global, in d's own insertion
+// order, and returns the remap table from d's IDs to global's. Merging
+// per-shard dictionaries in shard order reproduces exactly the ID
+// assignment a single sequential pass over the shards would have
+// produced, which is what keeps the parallel Prepare path bit-identical
+// to the sequential one.
+func (d *Dict) MergeInto(global *Dict) []uint32 {
+	remap := make([]uint32, len(d.grams))
+	for id, g := range d.grams {
+		remap[id] = global.Intern(g)
+	}
+	return remap
+}
+
+// Remapped returns a copy of v with every ID translated through remap
+// (IDs ≥ len(remap) are kept, preserving per-build overflow IDs),
+// re-sorted by the new IDs, with the norm recomputed in the new sorted
+// order — the exact norm a VectorBuilder keyed to the target ID space
+// would have produced, so remapped vectors are bit-identical to
+// directly-built ones.
+func Remapped(v *IDVector, remap []uint32) *IDVector {
+	if v.NNZ() == 0 {
+		return v
+	}
+	type pair struct {
+		id uint32
+		c  float64
+	}
+	pairs := make([]pair, v.NNZ())
+	for i, id := range v.IDs {
+		nid := id
+		if int(id) < len(remap) {
+			nid = remap[id]
+		}
+		pairs[i] = pair{nid, v.Counts[i]}
+	}
+	slices.SortFunc(pairs, func(a, b pair) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	ids := make([]uint32, len(pairs))
+	counts := make([]float64, len(pairs))
+	var norm2 float64
+	for i, p := range pairs {
+		ids[i] = p.id
+		counts[i] = p.c
+		norm2 += p.c * p.c
+	}
+	return &IDVector{IDs: ids, Counts: counts, norm: math.Sqrt(norm2)}
 }
 
 // Lookup returns the ID of g, or (NoID, false) when g was never
@@ -128,6 +197,18 @@ func (v *IDVector) Mass() float64 {
 
 // emptyIDVector backs NNZ==0 results so callers never see nil.
 var emptyIDVector = &IDVector{}
+
+// NewIDVector wraps pre-sorted parallel slices and a precomputed norm
+// as an IDVector. The caller must guarantee the IDs are strictly
+// ascending and norm is the Euclidean norm of counts accumulated in
+// that order — the contract feature layers that assemble vectors
+// outside VectorBuilder (e.g. from per-row slot segments) maintain.
+func NewIDVector(ids []uint32, counts []float64, norm float64) *IDVector {
+	if len(ids) == 0 {
+		return emptyIDVector
+	}
+	return &IDVector{IDs: ids, Counts: counts, norm: norm}
+}
 
 // VectorBuilder accumulates gram counts by ID and extracts sorted
 // IDVectors. One builder is reused across many columns (Build resets

@@ -337,3 +337,65 @@ func BenchmarkCosineIDs(b *testing.B) {
 		}
 	}
 }
+
+// TestDictNextIDBoundary: IDs stay dense up to the uint32 sentinel, and
+// growth onto the NoID sentinel itself must panic rather than alias the
+// unknown-gram marker (which would silently corrupt frozen classifiers'
+// out-of-vocabulary routing). The guard is table-driven over the
+// boundary; the full 4-billion-gram dictionary itself is not
+// constructible in a test.
+func TestDictNextIDBoundary(t *testing.T) {
+	cases := []struct {
+		n      int
+		want   uint32
+		panics bool
+	}{
+		{0, 0, false},
+		{1, 1, false},
+		{1 << 20, 1 << 20, false},
+		{int(NoID) - 1, NoID - 1, false},
+		{int(NoID), 0, true},
+		{int(NoID) + 1, 0, true},
+	}
+	for _, tc := range cases {
+		got, panicked := func() (id uint32, panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			return nextID(tc.n), false
+		}()
+		if panicked != tc.panics {
+			t.Errorf("nextID(%d): panicked = %v, want %v", tc.n, panicked, tc.panics)
+			continue
+		}
+		if !tc.panics && got != tc.want {
+			t.Errorf("nextID(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	if uint32(int(NoID)-1) == NoID {
+		t.Fatal("largest assignable ID collides with NoID")
+	}
+}
+
+// TestDictMergeIntoIdempotent: merging a shard twice (or a shard whose
+// grams the global dictionary already holds) must reuse the existing
+// IDs, never mint fresh ones.
+func TestDictMergeIntoIdempotent(t *testing.T) {
+	local := NewDict()
+	for _, g := range []string{"abc", "bcd", "cde"} {
+		local.Intern(g)
+	}
+	global := NewDict()
+	first := local.MergeInto(global)
+	second := local.MergeInto(global)
+	if global.Len() != 3 {
+		t.Fatalf("global grew to %d after double merge, want 3", global.Len())
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("remap[%d] changed between merges: %d vs %d", i, first[i], second[i])
+		}
+	}
+}

@@ -136,3 +136,54 @@ func TestJaccardIDsBasics(t *testing.T) {
 		t.Errorf("empty Jaccard = %v", got)
 	}
 }
+
+// TestFoldUnicodeFallback exercises the slow path that any non-ASCII or
+// unnormalized input must take: case folding beyond ASCII, Unicode
+// whitespace classes collapsing to single separators, and multi-byte
+// runes surviving untouched.
+func TestFoldUnicodeFallback(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"latin-1 uppercase", "Élan VITAL", "élan vital"},
+		{"turkish dotted I", "İstanbul", "istanbul"},
+		{"greek no final sigma", "ΣΊΣΥΦΟΣ", "σίσυφοσ"},
+		{"cyrillic", "МОСКВА тепло", "москва тепло"},
+		{"cjk passthrough", "東京 タワー", "東京 タワー"},
+		{"nbsp collapses", "a b", "a b"},
+		{"ideographic space", "a　　b", "a b"},
+		{"line separator", "one two", "one two"},
+		{"mixed whitespace run", "a \t\r\n b", "a b"},
+		{"leading and trailing unicode space", "  x ", "x"},
+		{"only whitespace", " \t   ", ""},
+		{"combining accent kept", "étude", "étude"},
+		{"multibyte uppercase at end", "fiancÉ", "fiancé"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Fold(tc.in); got != tc.want {
+				t.Errorf("Fold(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+			// Fold must be idempotent: the output is already folded.
+			if got := Fold(tc.want); got != tc.want {
+				t.Errorf("Fold not idempotent on %q: got %q", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestIsFoldedASCIIRejectsUnicode: every non-ASCII byte must force the
+// slow path, even when the rune is already lowercase — multi-byte runes
+// cannot be certified byte-wise.
+func TestIsFoldedASCIIRejectsUnicode(t *testing.T) {
+	for _, s := range []string{"café", "naïve", "東京", "a b", "śćio"} {
+		if isFoldedASCII(s) {
+			t.Errorf("isFoldedASCII(%q) = true, want false", s)
+		}
+	}
+	for _, s := range []string{"", "abc", "a b", "isbn 0-321"} {
+		if !isFoldedASCII(s) {
+			t.Errorf("isFoldedASCII(%q) = false, want true", s)
+		}
+	}
+}

@@ -55,6 +55,18 @@ type TargetStats struct {
 	// DictBytes estimates the memory the interned dictionary pins —
 	// the dominant per-catalog memory figure beyond the sample itself.
 	DictBytes int
+	// IndexPostings and IndexBytes size the inverted gram-ID candidate
+	// index over the catalog's string columns: the structure that lets
+	// scoring retrieve only target columns sharing grams with a source
+	// column instead of walking every pair. Zero when the handle was
+	// prepared with an Exhaustive engine.
+	IndexPostings int
+	IndexBytes    int
+	// IndexHitRate is the lifetime fraction of (source column × indexed
+	// column) pairs the index could not prove scoreless — the share of
+	// the exhaustive cosine work matches through this handle actually
+	// perform. It starts at 0 and converges as traffic flows.
+	IndexHitRate float64
 }
 
 // Stats reports the preparation cost and pinned-artifact sizes of the
@@ -70,6 +82,9 @@ func (t *Target) Stats() TargetStats {
 		FeatureColumns: ps.FeatureColumns,
 		DictGrams:      ps.DictGrams,
 		DictBytes:      ps.DictBytes,
+		IndexPostings:  ps.IndexPostings,
+		IndexBytes:     ps.IndexBytes,
+		IndexHitRate:   ps.IndexHitRate,
 	}
 }
 
