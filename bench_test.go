@@ -1,6 +1,7 @@
 package ctxmatch_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -285,6 +286,43 @@ func BenchmarkPrepare10k(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSnapshotLoad times restoring the same 10k-row catalog
+// BenchmarkPrepare10k builds, from an in-memory snapshot — the
+// warm-restart path. The contrast between the two is the snapshot
+// subsystem's reason to exist: loading reconstructs every artifact by
+// reference to one contiguous buffer instead of re-scanning columns and
+// re-training classifiers, and must come in at least an order of
+// magnitude under the preparation it replaces.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-catalog fixture skipped in -short mode (CI runs it in a dedicated profiled step)")
+	}
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+		Scale: 10, ExtraAttrs: 4, NoDistractors: true,
+	})
+	matcher, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepared, err := matcher.Prepare(context.Background(), ds.Target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := prepared.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctxmatch.LoadTarget(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -16,10 +16,11 @@
 //
 // re-measures on the baseline file's own fixture (so the numbers are
 // apples-to-apples regardless of -quick) and exits non-zero when
-// prepared_ns_op, prepared_allocs_op or cold_allocs_op regresses more
-// than -tolerance (default 25%) over the committed baseline.
-// Improvements and within-tolerance noise pass. No BENCH file is
-// written in this mode.
+// prepared_ns_op, prepare_ns, snapshot_load_ns, prepared_allocs_op or
+// cold_allocs_op regresses more than -tolerance (default 25%) over the
+// committed baseline (wall-clock metrics use the wider
+// -time-tolerance). Improvements and within-tolerance noise pass. No
+// BENCH file is written in this mode.
 //
 // -cpuprofile and -memprofile write pprof profiles of the prepared-path
 // benchmark loop, so perf PRs can attach evidence:
@@ -28,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -69,6 +71,13 @@ type report struct {
 	BatchSizeN     int     `json:"matchall_sources"`
 	BatchPar       int     `json:"matchall_parallelism"`
 	ResultBytes    int     `json:"result_wire_bytes"`
+	// SnapshotLoadNs times LoadTarget restoring the prepared catalog
+	// from an in-memory snapshot of SnapshotBytes bytes — the
+	// warm-restart path whose whole point is sitting far under
+	// prepare_ns. Zero in baselines recorded before the snapshot
+	// subsystem existed, which the compare gate skips.
+	SnapshotLoadNs int64 `json:"snapshot_load_ns"`
+	SnapshotBytes  int   `json:"snapshot_bytes"`
 }
 
 type fixture struct {
@@ -156,6 +165,19 @@ func main() {
 			exitOn(err)
 		}
 	})
+
+	// Warm-restart cost: the same prepared catalog restored from an
+	// in-memory snapshot, the serving-fleet alternative to paying
+	// prepare_ns on every node.
+	var snapBuf bytes.Buffer
+	_, err = prepared.WriteSnapshot(&snapBuf)
+	exitOn(err)
+	snapLoad := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := ctxmatch.LoadTarget(bytes.NewReader(snapBuf.Bytes()))
+			exitOn(err)
+		}
+	})
 	// Profile a separate run of the same hot loop *after* the
 	// measurement, so profiling overhead never leaks into the recorded
 	// (and -compare-gated) numbers while the profile still covers
@@ -168,7 +190,7 @@ func main() {
 		if *timeTolerance == 0 {
 			*timeTolerance = *tolerance
 		}
-		os.Exit(compare(baseline, prep.NsPerOp(), prepareNs, prep.AllocsPerOp(), cold.AllocsPerOp(), *timeTolerance, *tolerance))
+		os.Exit(compare(baseline, prep.NsPerOp(), prepareNs, snapLoad.NsPerOp(), prep.AllocsPerOp(), cold.AllocsPerOp(), *timeTolerance, *tolerance))
 	}
 
 	// The sequential prepare point (and the speedup ratio derived from
@@ -220,13 +242,15 @@ func main() {
 		PreparedNs: prep.NsPerOp(),
 		Speedup: float64(cold.NsPerOp()) /
 			float64(max64(prep.NsPerOp(), 1)),
-		ColdAllocs:  cold.AllocsPerOp(),
-		PrepAllocs:  prep.AllocsPerOp(),
-		PrepBytes:   prep.AllocedBytesPerOp(),
-		BatchNsOp:   batchRes.NsPerOp() / batch,
-		BatchSizeN:  batch,
-		BatchPar:    batchPar,
-		ResultBytes: len(wire),
+		ColdAllocs:     cold.AllocsPerOp(),
+		PrepAllocs:     prep.AllocsPerOp(),
+		PrepBytes:      prep.AllocedBytesPerOp(),
+		BatchNsOp:      batchRes.NsPerOp() / batch,
+		BatchSizeN:     batch,
+		BatchPar:       batchPar,
+		ResultBytes:    len(wire),
+		SnapshotLoadNs: snapLoad.NsPerOp(),
+		SnapshotBytes:  snapBuf.Len(),
 	}
 
 	name := r.Date
@@ -242,13 +266,14 @@ func main() {
 }
 
 // compare gates the regression-prone headline metrics against the
-// baseline: prepared_ns_op and prepare_ns (the steady-state serving
-// cost and the catalog onboarding cost, gated with timeTol because
-// wall clock shifts with hardware) plus prepared_allocs_op and
-// cold_allocs_op (allocation discipline of the hot path and the full
-// pipeline, hardware-independent and gated with the strict allocTol).
-// Returns the process exit code: 0 within tolerance, 1 regressed.
-func compare(baseline *report, preparedNs, prepareNs, preparedAllocs, coldAllocs int64, timeTol, allocTol float64) int {
+// baseline: prepared_ns_op, prepare_ns and snapshot_load_ns (the
+// steady-state serving cost, the catalog onboarding cost and the
+// warm-restart cost, gated with timeTol because wall clock shifts with
+// hardware) plus prepared_allocs_op and cold_allocs_op (allocation
+// discipline of the hot path and the full pipeline,
+// hardware-independent and gated with the strict allocTol). Returns the
+// process exit code: 0 within tolerance, 1 regressed.
+func compare(baseline *report, preparedNs, prepareNs, snapshotLoadNs, preparedAllocs, coldAllocs int64, timeTol, allocTol float64) int {
 	fmt.Printf("comparing against baseline %s (%s, %s/%s, fixture %d/%d rows)\n",
 		baseline.Date, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,
 		baseline.Fixture.Rows, baseline.Fixture.TargetRows)
@@ -268,6 +293,7 @@ func compare(baseline *report, preparedNs, prepareNs, preparedAllocs, coldAllocs
 	}
 	check("prepared_ns_op", baseline.PreparedNs, preparedNs, timeTol)
 	check("prepare_ns", baseline.PrepareNs, prepareNs, timeTol)
+	check("snapshot_load_ns", baseline.SnapshotLoadNs, snapshotLoadNs, timeTol)
 	check("prepared_allocs_op", baseline.PrepAllocs, preparedAllocs, allocTol)
 	check("cold_allocs_op", baseline.ColdAllocs, coldAllocs, allocTol)
 	if failed {

@@ -9,6 +9,13 @@
 // Each CSV file becomes one table named after the file; the first header
 // row declares "name:type" columns (types: string, text, int, real,
 // bool; default string).
+//
+// The snapshot subcommand builds and inspects prepared-catalog
+// snapshots — portable binary artifacts a ctxmatchd daemon (or
+// ctxmatch.LoadTarget) restores in milliseconds instead of re-preparing:
+//
+//	ctxmatch snapshot -target book.csv,music.csv -out catalog.snap [flags]
+//	ctxmatch snapshot -in catalog.snap
 package main
 
 import (
@@ -37,6 +44,9 @@ func main() {
 // and the return value is the process exit code (0 ok, 1 runtime
 // failure, 2 usage error).
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "snapshot" {
+		return runSnapshot(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("ctxmatch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

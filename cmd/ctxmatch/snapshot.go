@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ctxmatch"
+	"ctxmatch/internal/cliflags"
+)
+
+// runSnapshot is the snapshot subcommand: build a prepared-catalog
+// snapshot from target CSVs (-target … -out …) or inspect an existing
+// one (-in …). Exit codes match run's.
+func runSnapshot(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctxmatch snapshot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		targetList = fs.String("target", "", "comma-separated target CSV files to prepare and snapshot")
+		out        = fs.String("out", "", "file to write the snapshot to (with -target)")
+		in         = fs.String("in", "", "snapshot file to load and describe")
+	)
+	matcherOpts := cliflags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: ctxmatch snapshot -target a.csv[,b.csv…] -out catalog.snap [flags]")
+		fmt.Fprintln(stderr, "       ctxmatch snapshot -in catalog.snap")
+		fs.PrintDefaults()
+		return 2
+	}
+	fail := func(err error) int {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "ctxmatch:") {
+			msg = "ctxmatch: " + msg
+		}
+		fmt.Fprintln(stderr, msg)
+		return 1
+	}
+
+	switch {
+	case *in != "" && *targetList == "" && *out == "":
+		return inspectSnapshot(*in, stdout, fail)
+	case *targetList != "" && *out != "" && *in == "":
+		return buildSnapshot(ctx, *targetList, *out, matcherOpts, stdout, fail)
+	default:
+		return usage()
+	}
+}
+
+// buildSnapshot prepares the target catalog and writes its snapshot.
+func buildSnapshot(ctx context.Context, targetList, out string, matcherOpts func() ([]ctxmatch.Option, error), stdout io.Writer, fail func(error) int) int {
+	tgt, err := loadSchema("target", targetList)
+	if err != nil {
+		return fail(err)
+	}
+	opts, err := matcherOpts()
+	if err != nil {
+		return fail(err)
+	}
+	matcher, err := ctxmatch.New(opts...)
+	if err != nil {
+		return fail(err)
+	}
+	prepared, err := matcher.Prepare(ctx, tgt)
+	if err != nil {
+		return fail(err)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return fail(err)
+	}
+	n, err := prepared.WriteSnapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(out)
+		return fail(err)
+	}
+	st := prepared.Stats()
+	fmt.Fprintf(stdout, "wrote %s: %d bytes (prepared %d tables / %d rows in %s)\n",
+		out, n, st.Tables, st.Rows, st.PreparedIn.Round(time.Millisecond))
+	return 0
+}
+
+// inspectSnapshot loads a snapshot and prints what it carries.
+func inspectSnapshot(in string, stdout io.Writer, fail func(error) int) int {
+	f, err := os.Open(in)
+	if err != nil {
+		return fail(err)
+	}
+	target, err := ctxmatch.LoadTarget(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(fmt.Errorf("loading %s: %w", in, err))
+	}
+	st := target.Stats()
+	fmt.Fprintf(stdout, "%s: %d bytes, loaded in %s\n", in, st.SnapshotBytes, st.PreparedIn.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "  catalog: %d tables, %d rows, %d attributes\n", st.Tables, st.Rows, st.Attributes)
+	fmt.Fprintf(stdout, "  artifacts: %d feature columns, %d classifiers, %d dict grams (%d bytes), %d index postings (%d bytes)\n",
+		st.FeatureColumns, st.Classifiers, st.DictGrams, st.DictBytes, st.IndexPostings, st.IndexBytes)
+	for _, tbl := range target.Schema().Tables {
+		fmt.Fprintf(stdout, "  table %s: %d attributes, %d rows\n", tbl.Name, len(tbl.Attrs), tbl.Len())
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotBuildAndInspect drives the snapshot subcommand end to
+// end: build a snapshot from target CSVs, inspect it, and check both
+// report the same catalog shape.
+func TestSnapshotBuildAndInspect(t *testing.T) {
+	_, tgt := writeFixtureCSVs(t)
+	out := filepath.Join(t.TempDir(), "catalog.snap")
+
+	code, stdout, stderr := runCLI(t, "snapshot", "-target", tgt, "-out", out, "-parallelism", "2")
+	if code != 0 {
+		t.Fatalf("build exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+out) {
+		t.Errorf("build output missing path: %s", stdout)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot file: %v (size %v)", err, fi)
+	}
+
+	code, stdout, stderr = runCLI(t, "snapshot", "-in", out)
+	if code != 0 {
+		t.Fatalf("inspect exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"bytes, loaded in", "catalog:", "artifacts:", "table "} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestSnapshotUsageAndErrors: flag combinations that make no sense are
+// usage errors (2), a corrupt snapshot is a runtime failure (1).
+func TestSnapshotUsageAndErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"snapshot"},
+		{"snapshot", "-target", "a.csv"}, // no -out
+		{"snapshot", "-in", "x.snap", "-target", "a.csv"},            // both modes
+		{"snapshot", "-in", "x.snap", "-out", "y.snap"},              // -out without -target
+		{"snapshot", "-target", "a.csv", "-out", "s", "-in", "b.sn"}, // all three
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("runCLI(%v) = %d, want usage error 2", args, code)
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "snapshot", "-in", bad)
+	if code != 1 {
+		t.Fatalf("inspect of corrupt file = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "ctxmatch:") {
+		t.Errorf("stderr missing error prefix: %s", stderr)
+	}
+}

@@ -10,12 +10,19 @@
 //	GET  /v1/catalogs                      list prepared catalogs with stats
 //	PUT  /v1/catalogs/{name}               upload + prepare a catalog (CSV or JSON)
 //	DELETE /v1/catalogs/{name}             drop a catalog
+//	GET  /v1/catalogs/{name}/snapshot      download the prepared catalog's snapshot
+//	PUT  /v1/catalogs/{name}/snapshot      install a catalog from a snapshot
 //	POST /v1/catalogs/{name}/match         match one source schema
 //	POST /v1/catalogs/{name}/match-batch   match a batch with per-source isolation
 //
+// With -snapshot-dir the daemon persists every prepared catalog as a
+// *.snap file and warm-restarts the whole registry from that directory
+// before accepting traffic, so a restart costs milliseconds of snapshot
+// loading instead of re-preparing every catalog.
+//
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting,
-// in-flight requests get -drain-timeout to finish, then the process
-// exits.
+// in-flight requests get -drain-timeout to finish, dirty catalog
+// snapshots are flushed to -snapshot-dir, then the process exits.
 package main
 
 import (
@@ -57,6 +64,7 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 		reqTimeout  = fs.Duration("request-timeout", 60*time.Second, "per-request timeout (<0 disables)")
 		maxInFlight = fs.Int("max-inflight", 0, "in-flight request bound (0 = 2×parallelism, <0 disables)")
 		drain       = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		snapshotDir = fs.String("snapshot-dir", "", "directory to persist catalog snapshots into and warm-restart from (empty disables)")
 	)
 	matcherOpts := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +86,7 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 			MaxBodyBytes:   *maxBody,
 			RequestTimeout: *reqTimeout,
 			MaxInFlight:    *maxInFlight,
+			SnapshotDir:    *snapshotDir,
 		},
 		matcherOpts: opts,
 	}, nil
@@ -96,6 +105,15 @@ func run(ctx context.Context, cfg *daemonConfig, log *slog.Logger, ready chan<- 
 	svc, err := service.New(cfg.service)
 	if err != nil {
 		return err
+	}
+	// Warm-restart before the listener opens: the first request already
+	// sees every catalog the previous process persisted.
+	if cfg.service.SnapshotDir != "" {
+		n, err := svc.RestoreSnapshots()
+		if err != nil {
+			return err
+		}
+		log.Info("snapshots restored", "dir", cfg.service.SnapshotDir, "catalogs", n)
 	}
 
 	srv := &http.Server{
@@ -124,10 +142,20 @@ func run(ctx context.Context, cfg *daemonConfig, log *slog.Logger, ready chan<- 
 	log.Info("draining", "timeout", cfg.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	// Flush dirty catalog snapshots on both drain paths, after the
+	// listener stops taking uploads that could re-dirty them.
+	flush := func() {
+		if err := svc.FlushSnapshots(); err != nil {
+			log.Warn("flushing snapshots", "err", err)
+		}
+	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Warn("drain incomplete, closing", "err", err)
-		return srv.Close()
+		closeErr := srv.Close()
+		flush()
+		return closeErr
 	}
+	flush()
 	log.Info("drained cleanly")
 	return nil
 }

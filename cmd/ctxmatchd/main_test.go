@@ -81,3 +81,133 @@ func TestRunServesAndDrains(t *testing.T) {
 		t.Fatal("daemon never drained")
 	}
 }
+
+// startDaemon boots run() with the given args and returns the bound
+// address plus a shutdown func that drains and waits for exit.
+func startDaemon(t *testing.T, args []string) (addr string, shutdown func()) {
+	t.Helper()
+	cfg, err := parseConfig(args, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, cfg, slog.New(slog.NewTextHandler(io.Discard, nil)), ready)
+	}()
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil && !strings.Contains(err.Error(), "closed") {
+				t.Fatalf("run returned %v after drain", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never drained")
+		}
+	}
+}
+
+// request sends one HTTP request body and returns status + body.
+func request(t *testing.T, method, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// normalizeMatch strips elapsed_ns — the envelope's only wall-clock
+// field — so two runs of the same match compare byte-identical.
+func normalizeMatch(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("decoding match response: %v\n%s", err, body)
+	}
+	delete(m, "elapsed_ns")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestRestartRestoresCatalogs is the warm-restart acceptance path: a
+// daemon with -snapshot-dir prepares a catalog from an uploaded CSV,
+// drains on context cancel, and a second daemon pointed at the same
+// directory comes back with the identical registry — same listing name,
+// restored_from_snapshot set, and byte-identical match responses —
+// without ever seeing the CSV.
+func TestRestartRestoresCatalogs(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s", "-snapshot-dir", dir, "-seed", "1"}
+	catalogCSV := []byte("sku:string,price:real,label:string\nA100,9.99,blue kettle\nB200,19.5,red toaster\nC300,5.25,green mug\n")
+	sourceCSV := []byte("item:string,cost:real,desc:string\nA100,9.99,blue kettle\nB200,19.5,red toaster\n")
+
+	addr, shutdown := startDaemon(t, args)
+	if status, body := request(t, http.MethodPut, "http://"+addr+"/v1/catalogs/shop", "text/csv", catalogCSV); status != http.StatusCreated {
+		t.Fatalf("PUT catalog = %d: %s", status, body)
+	}
+	status, firstMatch := request(t, http.MethodPost, "http://"+addr+"/v1/catalogs/shop/match", "text/csv", sourceCSV)
+	if status != http.StatusOK {
+		t.Fatalf("match = %d: %s", status, firstMatch)
+	}
+	shutdown()
+
+	addr, shutdown = startDaemon(t, args)
+	defer shutdown()
+	status, listing := request(t, http.MethodGet, "http://"+addr+"/v1/catalogs", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list = %d: %s", status, listing)
+	}
+	var list struct {
+		Catalogs []struct {
+			Name     string `json:"name"`
+			Restored bool   `json:"restored_from_snapshot"`
+			Bytes    int    `json:"snapshot_bytes"`
+		} `json:"catalogs"`
+	}
+	if err := json.Unmarshal(listing, &list); err != nil {
+		t.Fatalf("decoding listing: %v\n%s", err, listing)
+	}
+	if len(list.Catalogs) != 1 || list.Catalogs[0].Name != "shop" ||
+		!list.Catalogs[0].Restored || list.Catalogs[0].Bytes == 0 {
+		t.Fatalf("restored listing = %s", listing)
+	}
+
+	status, secondMatch := request(t, http.MethodPost, "http://"+addr+"/v1/catalogs/shop/match", "text/csv", sourceCSV)
+	if status != http.StatusOK {
+		t.Fatalf("match after restart = %d: %s", status, secondMatch)
+	}
+	if got, want := normalizeMatch(t, secondMatch), normalizeMatch(t, firstMatch); got != want {
+		t.Errorf("restarted daemon diverged:\n got: %.300s\nwant: %.300s", got, want)
+	}
+}

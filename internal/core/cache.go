@@ -52,6 +52,26 @@ func buildTargetArtifacts(eng *match.Engine, tgt *relational.Schema, needCls boo
 	return a
 }
 
+// classifierDomains counts the trained per-domain target classifiers:
+// from the live set when the artifacts were built in-process, from the
+// frozen set alone when they were restored from a snapshot (which
+// carries no live classifiers).
+func (a *targetArtifacts) classifierDomains() int {
+	if a.tcls != nil {
+		return a.tcls.domains()
+	}
+	if a.fcls == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range a.fcls.byDomain {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // TargetCache memoizes the artifacts of a matching run that depend only
 // on the target schema — the shared gram dictionary, the precomputed
 // column features of the standard matcher, and the trained + frozen

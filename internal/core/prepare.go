@@ -26,6 +26,11 @@ type PreparedTarget struct {
 	opt  Options
 	eng  *match.Engine
 	arts *targetArtifacts
+
+	// snapshotBytes and restored describe the handle's provenance when
+	// it was loaded from a snapshot rather than prepared fresh.
+	snapshotBytes int
+	restored      bool
 }
 
 // PrepareTarget eagerly resolves the target-side artifacts for tgt under
@@ -84,20 +89,28 @@ type PrepStats struct {
 	// the share of the exhaustive cosine work the handle actually
 	// performs. Zero before any match.
 	IndexHitRate float64
+	// SnapshotBytes is the size of the snapshot the handle was restored
+	// from, zero for a freshly-prepared handle.
+	SnapshotBytes int
+	// RestoredFromSnapshot reports whether the handle came from
+	// LoadPreparedTarget rather than PrepareTarget.
+	RestoredFromSnapshot bool
 }
 
 // Stats reports the size of the catalog and of the pinned artifacts.
 func (pt *PreparedTarget) Stats() PrepStats {
 	ix := pt.arts.feats.IndexStats()
 	s := PrepStats{
-		Tables:         len(pt.tgt.Tables),
-		Classifiers:    pt.arts.tcls.domains(),
-		FeatureColumns: pt.arts.feats.Columns(),
-		DictGrams:      pt.arts.dict.Len(),
-		DictBytes:      pt.arts.dict.Bytes(),
-		IndexPostings:  ix.Postings,
-		IndexBytes:     ix.Bytes,
-		IndexHitRate:   ix.HitRate(),
+		Tables:               len(pt.tgt.Tables),
+		Classifiers:          pt.arts.classifierDomains(),
+		FeatureColumns:       pt.arts.feats.Columns(),
+		DictGrams:            pt.arts.dict.Len(),
+		DictBytes:            pt.arts.dict.Bytes(),
+		IndexPostings:        ix.Postings,
+		IndexBytes:           ix.Bytes,
+		IndexHitRate:         ix.HitRate(),
+		SnapshotBytes:        pt.snapshotBytes,
+		RestoredFromSnapshot: pt.restored,
 	}
 	for _, t := range pt.tgt.Tables {
 		s.Rows += len(t.Rows)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ctxmatch/internal/snapshot"
+)
+
+// WriteSnapshot serializes the handle's pinned artifacts — target
+// schema with its sample instance, options, engine configuration,
+// frozen dictionary, column feature layer, candidate index and frozen
+// classifiers — into the versioned snapshot container, returning the
+// bytes written. A handle restored from those bytes matches
+// bit-identically to this one.
+func (pt *PreparedTarget) WriteSnapshot(w io.Writer) (int64, error) {
+	a := &snapshot.Artifacts{
+		Schema: pt.tgt,
+		Options: snapshot.Options{
+			Tau:            pt.opt.Tau,
+			Omega:          pt.opt.Omega,
+			EarlyDisjuncts: pt.opt.EarlyDisjuncts,
+			Inference:      int(pt.opt.Inference),
+			Selection:      int(pt.opt.Selection),
+			SignificanceT:  pt.opt.SignificanceT,
+			TrainFrac:      pt.opt.TrainFrac,
+			MaxDepth:       pt.opt.MaxDepth,
+			Seed:           pt.opt.Seed,
+			Parallelism:    pt.opt.Parallelism,
+		},
+		Engine:   pt.eng,
+		Dict:     pt.arts.dict,
+		Features: pt.arts.feats,
+	}
+	if pt.arts.fcls != nil {
+		a.HasClassifiers = true
+		a.Classifiers = pt.arts.fcls.byDomain
+	}
+	return snapshot.Write(w, a)
+}
+
+// LoadPreparedTarget deserializes a snapshot written by WriteSnapshot
+// into a ready-to-match handle, performing no training and no column
+// scanning — the artifacts come back as the pure-data tables the
+// snapshot recorded. Corrupt or foreign input fails with the snapshot
+// package's structured errors.
+func LoadPreparedTarget(r io.Reader) (*PreparedTarget, error) {
+	a, size, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	opt := Options{
+		Tau:            a.Options.Tau,
+		Omega:          a.Options.Omega,
+		EarlyDisjuncts: a.Options.EarlyDisjuncts,
+		Inference:      Inference(a.Options.Inference),
+		Selection:      Selection(a.Options.Selection),
+		SignificanceT:  a.Options.SignificanceT,
+		TrainFrac:      a.Options.TrainFrac,
+		MaxDepth:       a.Options.MaxDepth,
+		Seed:           a.Options.Seed,
+		Parallelism:    a.Options.Parallelism,
+		Engine:         a.Engine,
+	}
+	if opt.Inference == TgtClassInfer && !a.HasClassifiers {
+		return nil, fmt.Errorf("%w: snapshot prepared under TgtClassInfer carries no classifiers", snapshot.ErrFormat)
+	}
+	arts := &targetArtifacts{dict: a.Dict, feats: a.Features}
+	if a.HasClassifiers {
+		arts.fcls = &frozenTargetClassifiers{byDomain: a.Classifiers}
+	}
+	return &PreparedTarget{
+		tgt:           a.Schema,
+		opt:           opt,
+		eng:           a.Engine,
+		arts:          arts,
+		snapshotBytes: size,
+		restored:      true,
+	}, nil
+}

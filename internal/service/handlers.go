@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"cmp"
 	"context"
 	"encoding/json"
@@ -9,7 +10,9 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"slices"
+	"strconv"
 	"time"
 
 	"ctxmatch"
@@ -35,6 +38,13 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs; default
 	// slog.Default().
 	Logger *slog.Logger
+	// SnapshotDir, when non-empty, is where the server persists one
+	// *.snap file per catalog (atomic temp+rename on every successful
+	// prepare or snapshot upload) and where RestoreSnapshots
+	// warm-restarts the registry from. Empty disables persistence; the
+	// snapshot HTTP endpoints work either way. The directory is created
+	// if missing.
+	SnapshotDir string
 }
 
 // Server is the ctxmatchd HTTP service: the catalog registry plus the
@@ -66,6 +76,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: snapshot dir: %w", err)
+		}
+	}
 	s := &Server{
 		reg: NewRegistry(cfg.Matcher, cfg.MaxCatalogs),
 		log: cfg.Logger,
@@ -90,6 +105,8 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /v1/catalogs", s.handleList)
 	api.HandleFunc("PUT /v1/catalogs/{name}", s.handlePut)
 	api.HandleFunc("DELETE /v1/catalogs/{name}", s.handleDelete)
+	api.HandleFunc("GET /v1/catalogs/{name}/snapshot", s.handleGetSnapshot)
+	api.HandleFunc("PUT /v1/catalogs/{name}/snapshot", s.handlePutSnapshot)
 	api.HandleFunc("POST /v1/catalogs/{name}/match", s.handleMatch)
 	api.HandleFunc("POST /v1/catalogs/{name}/match-batch", s.handleMatchBatch)
 
@@ -137,6 +154,83 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	s.log.Info("catalog prepared", "name", name, "generation", info.Generation,
 		"prepared_ms", time.Duration(info.PreparedNS).Milliseconds(),
 		"tables", info.Tables, "rows", info.Rows)
+	// Persist the fresh generation eagerly; a failure only defers it to
+	// the drain-time flush (the entry stays dirty), never fails the
+	// upload.
+	if s.cfg.SnapshotDir != "" {
+		if t, ok := s.reg.Get(name); ok {
+			if err := s.persistSnapshot(name, t); err != nil {
+				s.log.Warn("persisting snapshot", "name", name, "err", err)
+			} else {
+				s.reg.MarkClean(name, t)
+			}
+		}
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, info)
+}
+
+// handleGetSnapshot serves the catalog's versioned binary snapshot —
+// the replication download. The snapshot is built into memory first so
+// a serialization failure is still a clean 500 instead of a torn body.
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	target, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := target.WriteSnapshot(&buf); err != nil {
+		s.writeMappedError(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.log.Warn("writing snapshot response", "name", name, "err", err)
+	}
+}
+
+// handlePutSnapshot installs a catalog from an uploaded snapshot — the
+// replication upload. No preparation runs: the handle is restored by
+// ctxmatch.LoadTarget and published under the name with Prepare's
+// replace/evict semantics, and the raw uploaded bytes are persisted
+// verbatim when a snapshot directory is configured.
+func (s *Server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if len(name) > 128 {
+		writeError(w, http.StatusBadRequest, "catalog name longer than 128 bytes")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	target, err := ctxmatch.LoadTarget(bytes.NewReader(body))
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	info, evicted, replaced := s.reg.Install(name, target)
+	for _, victim := range evicted {
+		s.log.Info("catalog evicted", "name", victim, "for", name)
+	}
+	s.log.Info("catalog restored from uploaded snapshot", "name", name,
+		"generation", info.Generation, "bytes", len(body),
+		"tables", info.Tables, "rows", info.Rows)
+	if s.cfg.SnapshotDir != "" {
+		if err := s.persistRaw(name, body); err != nil {
+			s.log.Warn("persisting snapshot", "name", name, "err", err)
+		} else {
+			s.reg.MarkClean(name, target)
+		}
+	}
 	status := http.StatusCreated
 	if replaced {
 		status = http.StatusOK
@@ -150,6 +244,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
 		return
 	}
+	// A deletion is explicit intent, so the persisted snapshot goes too
+	// (unlike LRU eviction, which keeps the file for a cheap re-restore).
+	s.removeSnapshot(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -285,7 +382,12 @@ func (s *Server) writeMappedError(w http.ResponseWriter, err error, fallback int
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, ctxmatch.ErrEmptySchema):
+	case errors.Is(err, ctxmatch.ErrEmptySchema),
+		errors.Is(err, ctxmatch.ErrSnapshotFormat),
+		errors.Is(err, ctxmatch.ErrSnapshotVersion),
+		errors.Is(err, ctxmatch.ErrSnapshotChecksum),
+		errors.Is(err, ctxmatch.ErrSnapshotTruncated),
+		errors.Is(err, ctxmatch.ErrSnapshotUnsupported):
 		status = http.StatusBadRequest
 	}
 	if status >= 500 {

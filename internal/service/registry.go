@@ -37,6 +37,10 @@ type Registry struct {
 type catalogEntry struct {
 	target *ctxmatch.Target
 	info   CatalogInfo
+	// dirty marks a generation whose persisted snapshot (when the server
+	// keeps one — see Config.SnapshotDir) does not yet reflect this
+	// handle; the drain-time flush writes exactly the dirty entries.
+	dirty bool
 }
 
 // NewRegistry builds a registry around m holding at most cap prepared
@@ -60,6 +64,17 @@ func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Sc
 	if err != nil {
 		return CatalogInfo{}, nil, false, err
 	}
+	info, evicted, replaced = r.Install(name, t)
+	return info, evicted, replaced, nil
+}
+
+// Install publishes an externally built handle — typically one restored
+// from a snapshot by ctxmatch.LoadTarget — under name, with the same
+// replace/evict/generation semantics as Prepare but no preparation
+// cost. The new entry starts dirty (its snapshot persistence, if any,
+// is pending); callers that know the handle is already on disk clear
+// that with MarkClean.
+func (r *Registry) Install(name string, t *ctxmatch.Target) (info CatalogInfo, evicted []string, replaced bool) {
 	st := t.Stats()
 
 	r.mu.Lock()
@@ -67,22 +82,24 @@ func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Sc
 	r.gens[name]++
 	gen := r.gens[name]
 	info = CatalogInfo{
-		Name:           name,
-		Generation:     gen,
-		PreparedAt:     time.Now().UTC(),
-		PreparedNS:     st.PreparedIn.Nanoseconds(),
-		Tables:         st.Tables,
-		Rows:           st.Rows,
-		Attributes:     st.Attributes,
-		Classifiers:    st.Classifiers,
-		FeatureColumns: st.FeatureColumns,
-		DictGrams:      st.DictGrams,
-		DictBytes:      st.DictBytes,
-		IndexPostings:  st.IndexPostings,
-		IndexBytes:     st.IndexBytes,
-		IndexHitRate:   st.IndexHitRate,
+		Name:                 name,
+		Generation:           gen,
+		PreparedAt:           time.Now().UTC(),
+		PreparedNS:           st.PreparedIn.Nanoseconds(),
+		Tables:               st.Tables,
+		Rows:                 st.Rows,
+		Attributes:           st.Attributes,
+		Classifiers:          st.Classifiers,
+		FeatureColumns:       st.FeatureColumns,
+		DictGrams:            st.DictGrams,
+		DictBytes:            st.DictBytes,
+		IndexPostings:        st.IndexPostings,
+		IndexBytes:           st.IndexBytes,
+		IndexHitRate:         st.IndexHitRate,
+		SnapshotBytes:        st.SnapshotBytes,
+		RestoredFromSnapshot: st.RestoredFromSnapshot,
 	}
-	r.entries[name] = &catalogEntry{target: t, info: info}
+	r.entries[name] = &catalogEntry{target: t, info: info, dirty: true}
 	r.touchLocked(name)
 	var forget []*ctxmatch.Schema
 	for len(r.entries) > r.cap {
@@ -98,7 +115,8 @@ func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Sc
 	// (each upload parses a fresh schema object, so the old one can
 	// never be re-Prepared) and the evicted catalogs'. Handles already
 	// fetched by in-flight readers pin their own artifacts and are
-	// unaffected.
+	// unaffected. For a restored handle (whose artifacts live on its own
+	// private matcher) the Forget is a harmless no-op.
 	if old != nil {
 		replaced = true
 		r.matcher.Forget(old.target.Schema())
@@ -106,7 +124,32 @@ func (r *Registry) Prepare(ctx context.Context, name string, schema *ctxmatch.Sc
 	for _, s := range forget {
 		r.matcher.Forget(s)
 	}
-	return info, evicted, replaced, nil
+	return info, evicted, replaced
+}
+
+// Dirty returns the current handles whose snapshot persistence is
+// pending, keyed by registry name.
+func (r *Registry) Dirty() map[string]*ctxmatch.Target {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]*ctxmatch.Target{}
+	for name, e := range r.entries {
+		if e.dirty {
+			out[name] = e.target
+		}
+	}
+	return out
+}
+
+// MarkClean records that name's snapshot persistence is done, but only
+// if its current handle is still t — a flush racing a re-prepare must
+// never mark the newer generation clean.
+func (r *Registry) MarkClean(name string, t *ctxmatch.Target) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.target == t {
+		e.dirty = false
+	}
 }
 
 // Get returns the current handle for name and marks it recently used.

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ctxmatch"
+)
+
+// snapshotPath maps a registry name to its file inside dir. Names are
+// URL-path-escaped so every name — including ones with separators or
+// dots — maps to exactly one flat, safe filename, and PathUnescape
+// recovers it losslessly on restore.
+func snapshotPath(dir, name string) string {
+	return filepath.Join(dir, url.PathEscape(name)+".snap")
+}
+
+// persistSnapshot serializes the handle and writes it as name's *.snap
+// file.
+func (s *Server) persistSnapshot(name string, t *ctxmatch.Target) error {
+	var buf bytes.Buffer
+	if _, err := t.WriteSnapshot(&buf); err != nil {
+		return fmt.Errorf("serializing %q: %w", name, err)
+	}
+	return s.persistRaw(name, buf.Bytes())
+}
+
+// persistRaw atomically replaces name's *.snap file with data: the
+// bytes land in a temp file in the same directory first, so a crash
+// mid-write leaves the previous snapshot intact and a restore never
+// sees a torn file.
+func (s *Server) persistRaw(name string, data []byte) error {
+	path := snapshotPath(s.cfg.SnapshotDir, name)
+	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("writing %q: %w", path, werr)
+	}
+	return nil
+}
+
+// removeSnapshot deletes name's persisted snapshot, if any.
+func (s *Server) removeSnapshot(name string) {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	if err := os.Remove(snapshotPath(s.cfg.SnapshotDir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.log.Warn("removing snapshot", "name", name, "err", err)
+	}
+}
+
+// RestoreSnapshots installs every *.snap file in the configured
+// snapshot directory into the registry, in name order, and returns how
+// many catalogs it restored. A corrupt or unreadable file is logged and
+// skipped — one bad snapshot never blocks the rest of the warm restart.
+// Call it before the listener opens so the first request already sees
+// the persisted catalogs; with no snapshot directory it is a no-op.
+func (s *Server) RestoreSnapshots() (int, error) {
+	if s.cfg.SnapshotDir == "" {
+		return 0, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, "*.snap"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	restored := 0
+	for _, path := range paths {
+		name, err := url.PathUnescape(strings.TrimSuffix(filepath.Base(path), ".snap"))
+		if err != nil {
+			s.log.Warn("skipping snapshot with undecodable name", "path", path, "err", err)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			s.log.Warn("skipping unreadable snapshot", "path", path, "err", err)
+			continue
+		}
+		target, err := ctxmatch.LoadTarget(f)
+		f.Close()
+		if err != nil {
+			s.log.Warn("skipping corrupt snapshot", "path", path, "err", err)
+			continue
+		}
+		info, _, _ := s.reg.Install(name, target)
+		// The file on disk is exactly what we just loaded.
+		s.reg.MarkClean(name, target)
+		s.log.Info("catalog restored from snapshot", "name", name,
+			"bytes", info.SnapshotBytes, "tables", info.Tables, "rows", info.Rows)
+		restored++
+	}
+	return restored, nil
+}
+
+// FlushSnapshots persists every catalog whose snapshot is stale or was
+// never written — the drain-time counterpart of the eager persist on
+// upload. Failures are joined, not short-circuited, so one bad write
+// still lets every other catalog reach disk. A no-op without a
+// snapshot directory.
+func (s *Server) FlushSnapshots() error {
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	var errs []error
+	for name, t := range s.reg.Dirty() {
+		if err := s.persistSnapshot(name, t); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.reg.MarkClean(name, t)
+	}
+	return errors.Join(errs...)
+}

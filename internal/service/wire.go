@@ -9,6 +9,16 @@
 // and GET /v1/catalogs listing prepared handles with prep-time/size
 // stats.
 //
+// Prepared catalogs are portable: GET /v1/catalogs/{name}/snapshot
+// downloads the handle's versioned binary snapshot and
+// PUT /v1/catalogs/{name}/snapshot installs one without re-preparing —
+// the replication path between daemons. With Config.SnapshotDir set the
+// server also persists every prepared catalog to disk (atomic
+// temp+rename, one *.snap file per name) and RestoreSnapshots
+// warm-restarts the whole registry from that directory in milliseconds
+// before the listener opens; FlushSnapshots writes any still-dirty
+// catalogs at drain time.
+//
 // The daemon layer adds what the library deliberately leaves out:
 // per-request timeouts, body-size limits, bounded in-flight
 // concurrency, structured request logging and graceful drain — see
@@ -121,6 +131,16 @@ type CatalogInfo struct {
 	IndexPostings int     `json:"index_postings"`
 	IndexBytes    int     `json:"index_bytes"`
 	IndexHitRate  float64 `json:"index_hit_rate"`
+	// SnapshotBytes is the size of the snapshot the handle was restored
+	// from, zero for a catalog prepared in-process; see
+	// RestoredFromSnapshot. The omitempty keeps pre-snapshot clients'
+	// listings unchanged.
+	SnapshotBytes int `json:"snapshot_bytes,omitempty"`
+	// RestoredFromSnapshot reports whether the catalog was installed by
+	// restoring a snapshot (startup warm-restart or PUT …/snapshot)
+	// rather than prepared from an uploaded sample; PreparedNS then
+	// measures the load, not a preparation.
+	RestoredFromSnapshot bool `json:"restored_from_snapshot,omitempty"`
 }
 
 // matchRequest is the JSON body of POST /v1/catalogs/{name}/match.

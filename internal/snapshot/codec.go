@@ -1,0 +1,215 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the running machine stores multi-byte
+// integers little-endian — the precondition for reconstructing []uint32
+// and []float64 slices directly over the snapshot buffer instead of
+// decoding element by element.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// enc appends the little-endian wire encoding of one section payload.
+// Array payloads are 8-byte aligned relative to the payload start;
+// since the container places every payload at an 8-byte-aligned file
+// offset, the arrays land aligned in the loaded buffer and the decoder
+// can alias them zero-copy.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// align8 pads the payload to the next 8-byte boundary.
+func (e *enc) align8() {
+	for len(e.buf)%8 != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// str writes a length-prefixed string.
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// bytes writes a length-prefixed raw byte blob.
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// u32s writes a length-prefixed flat little-endian []uint32 array,
+// 8-byte aligned.
+func (e *enc) u32s(v []uint32) {
+	e.u32(uint32(len(v)))
+	e.align8()
+	for _, x := range v {
+		e.u32(x)
+	}
+}
+
+// f64s writes a length-prefixed flat little-endian []float64 array
+// (bit-exact), 8-byte aligned.
+func (e *enc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	e.align8()
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// dec reads one section payload with a sticky error: after the first
+// failure every read returns a zero value and the error is reported by
+// err(). Every declared count is bounds-checked against the remaining
+// payload before any allocation, so a corrupted or adversarial snapshot
+// can neither panic the decoder nor make it allocate more memory than
+// the input's own size (plus small constants).
+type dec struct {
+	buf  []byte
+	off  int
+	fail error
+}
+
+func (d *dec) err() error { return d.fail }
+
+// need reserves n bytes, failing the decoder when they are not there.
+func (d *dec) need(n int) bool {
+	if d.fail != nil {
+		return false
+	}
+	if n < 0 || d.off+n > len(d.buf) || d.off+n < d.off {
+		d.fail = errTruncatedf("payload needs %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64    { return int64(d.u64()) }
+func (d *dec) f64() float64  { return math.Float64frombits(d.u64()) }
+func (d *dec) boolean() bool { return d.u8() != 0 }
+
+func (d *dec) align8() {
+	for d.off%8 != 0 {
+		if !d.need(1) {
+			return
+		}
+		d.off++
+	}
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// rawBytes returns a length-prefixed blob aliasing the snapshot buffer.
+func (d *dec) rawBytes() []byte {
+	n := int(d.u32())
+	if !d.need(n) {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// u32s reads a length-prefixed flat []uint32 array. On little-endian
+// hosts with an aligned buffer the returned slice aliases the snapshot
+// buffer (zero copy); otherwise it decodes element-wise. Either way the
+// slice must be treated as immutable.
+func (d *dec) u32s() []uint32 {
+	n := int(d.u32())
+	d.align8()
+	if !d.need(n * 4) {
+		return nil
+	}
+	raw := d.buf[d.off : d.off+n*4]
+	d.off += n * 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	return out
+}
+
+// f64s reads a length-prefixed flat []float64 array, zero-copy on
+// aligned little-endian hosts (see u32s).
+func (d *dec) f64s() []float64 {
+	n := int(d.u32())
+	d.align8()
+	if !d.need(n * 8) {
+		return nil
+	}
+	raw := d.buf[d.off : d.off+n*8]
+	d.off += n * 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package tokenize
+
+import "fmt"
+
+// RawIndex is the flat, serializable form of an Index: the posting lists
+// concatenated into parallel column/count arrays addressed by per-gram
+// offsets, plus the per-gram max-weight bounds. The layout is what a
+// snapshot stores — plain numeric arrays a loader can alias directly
+// from a contiguous buffer — and NewIndexFromRaw is the inverse.
+type RawIndex struct {
+	// ListOffsets has one entry per gram plus a terminator: gram g's
+	// postings are PostCols/PostCounts[ListOffsets[g]:ListOffsets[g+1]].
+	ListOffsets []uint32
+	// PostCols and PostCounts are the concatenated posting lists in gram
+	// order: the dense column index and the gram's count in that column.
+	PostCols   []uint32
+	PostCounts []float64
+	// MaxW is the per-gram maximum normalized weight bound, one entry
+	// per gram.
+	MaxW []float64
+}
+
+// Raw exports the index's posting lists and bounds in flat form.
+func (ix *Index) Raw() *RawIndex {
+	r := &RawIndex{
+		ListOffsets: make([]uint32, len(ix.lists)+1),
+		PostCols:    make([]uint32, 0, ix.postings),
+		PostCounts:  make([]float64, 0, ix.postings),
+		MaxW:        ix.maxW,
+	}
+	for g, list := range ix.lists {
+		r.ListOffsets[g] = uint32(len(r.PostCols))
+		for _, p := range list {
+			r.PostCols = append(r.PostCols, p.Col)
+			r.PostCounts = append(r.PostCounts, p.Count)
+		}
+	}
+	r.ListOffsets[len(ix.lists)] = uint32(len(r.PostCols))
+	return r
+}
+
+// NewIndexFromRaw reconstructs an Index over cols from its flat form,
+// validating every offset and column reference so corrupted input
+// cannot index out of range later. The postings materialize as one
+// contiguous slice with the per-gram lists as subslices — a single
+// fused pass over the parallel arrays, no per-posting decode. The
+// max-weight bounds are adopted as recorded rather than recomputed, so
+// a restored index prunes bit-identically to the one it was exported
+// from. Retrieval counters start at zero.
+func NewIndexFromRaw(cols []*IDVector, raw *RawIndex) (*Index, error) {
+	nGrams := len(raw.MaxW)
+	if len(raw.ListOffsets) != nGrams+1 {
+		return nil, fmt.Errorf("tokenize: index has %d list offsets for %d grams", len(raw.ListOffsets), nGrams)
+	}
+	n := len(raw.PostCols)
+	if len(raw.PostCounts) != n {
+		return nil, fmt.Errorf("tokenize: index has %d posting columns but %d counts", n, len(raw.PostCounts))
+	}
+	if nGrams > 0 && raw.ListOffsets[0] != 0 {
+		return nil, fmt.Errorf("tokenize: index list offsets start at %d, want 0", raw.ListOffsets[0])
+	}
+	for g := 0; g < nGrams; g++ {
+		if raw.ListOffsets[g] > raw.ListOffsets[g+1] {
+			return nil, fmt.Errorf("tokenize: index list offsets decrease at gram %d", g)
+		}
+	}
+	if nGrams > 0 && int(raw.ListOffsets[nGrams]) != n {
+		return nil, fmt.Errorf("tokenize: index list offsets end at %d, want %d postings", raw.ListOffsets[nGrams], n)
+	}
+	if nGrams == 0 && n != 0 {
+		return nil, fmt.Errorf("tokenize: index has %d postings but no grams", n)
+	}
+	flat := make([]Posting, n)
+	for i := 0; i < n; i++ {
+		col := raw.PostCols[i]
+		if int(col) >= len(cols) {
+			return nil, fmt.Errorf("tokenize: index posting %d references column %d of %d", i, col, len(cols))
+		}
+		flat[i] = Posting{Col: col, Count: raw.PostCounts[i]}
+	}
+	ix := &Index{
+		cols:     cols,
+		lists:    make([][]Posting, nGrams),
+		maxW:     raw.MaxW,
+		postings: n,
+	}
+	for g := 0; g < nGrams; g++ {
+		lo, hi := raw.ListOffsets[g], raw.ListOffsets[g+1]
+		if lo < hi {
+			ix.lists[g] = flat[lo:hi:hi]
+		}
+	}
+	return ix, nil
+}

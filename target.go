@@ -67,6 +67,13 @@ type TargetStats struct {
 	// the exhaustive cosine work matches through this handle actually
 	// perform. It starts at 0 and converges as traffic flows.
 	IndexHitRate float64
+	// SnapshotBytes is the size of the snapshot the handle was restored
+	// from (see LoadTarget), zero for a freshly-prepared handle.
+	SnapshotBytes int
+	// RestoredFromSnapshot reports whether the handle was restored by
+	// LoadTarget rather than built by Prepare; PreparedIn then measures
+	// the load, not a preparation.
+	RestoredFromSnapshot bool
 }
 
 // Stats reports the preparation cost and pinned-artifact sizes of the
@@ -85,6 +92,9 @@ func (t *Target) Stats() TargetStats {
 		IndexPostings:  ps.IndexPostings,
 		IndexBytes:     ps.IndexBytes,
 		IndexHitRate:   ps.IndexHitRate,
+
+		SnapshotBytes:        ps.SnapshotBytes,
+		RestoredFromSnapshot: ps.RestoredFromSnapshot,
 	}
 }
 
