@@ -16,11 +16,13 @@
 //
 // re-measures on the baseline file's own fixture (so the numbers are
 // apples-to-apples regardless of -quick) and exits non-zero when
-// prepared_ns_op, prepare_ns, snapshot_load_ns, prepared_allocs_op or
-// cold_allocs_op regresses more than -tolerance (default 25%) over the
-// committed baseline (wall-clock metrics use the wider
-// -time-tolerance). Improvements and within-tolerance noise pass. No
-// BENCH file is written in this mode.
+// prepared_ns_op, prepare_ns, snapshot_load_ns, matchany_ns,
+// prepared_allocs_op or cold_allocs_op regresses more than -tolerance
+// (default 25%) over the committed baseline (wall-clock metrics use
+// the wider -time-tolerance), or when matchany_pruned_frac — the
+// fraction of fleet catalogs retrieval prunes — collapses below the
+// baseline. Improvements and within-tolerance noise pass. No BENCH
+// file is written in this mode.
 //
 // -cpuprofile and -memprofile write pprof profiles of the prepared-path
 // benchmark loop, so perf PRs can attach evidence:
@@ -43,6 +45,7 @@ import (
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
+	"ctxmatch/internal/repository"
 )
 
 // report is the schema of one BENCH_<date>.json file.
@@ -78,6 +81,18 @@ type report struct {
 	// subsystem existed, which the compare gate skips.
 	SnapshotLoadNs int64 `json:"snapshot_load_ns"`
 	SnapshotBytes  int   `json:"snapshot_bytes"`
+	// MatchAnyNs times fleet retrieval (top-k candidate catalogs via
+	// the floored postings scorer, exact match on survivors only) of one
+	// source over a MatchAnyCatalogs-catalog fleet; MatchAnyExhaustNs is
+	// the same query matched against every catalog, and
+	// MatchAnyPrunedFrac the fraction of catalogs retrieval proved
+	// sub-floor and never matched — the pruning factor the repository
+	// subsystem exists to buy. Zero in baselines recorded before the
+	// fleet existed, which the compare gate skips.
+	MatchAnyNs         int64   `json:"matchany_ns,omitempty"`
+	MatchAnyExhaustNs  int64   `json:"matchany_exhaustive_ns,omitempty"`
+	MatchAnyPrunedFrac float64 `json:"matchany_pruned_frac,omitempty"`
+	MatchAnyCatalogs   int     `json:"matchany_catalogs,omitempty"`
 }
 
 type fixture struct {
@@ -186,11 +201,26 @@ func main() {
 		profileHotLoop(prepared, ds, prep.N, *cpuProfile, *memProfile)
 	}
 
+	// Fleet retrieval: match-any over a multi-catalog fleet, once with
+	// top-k retrieval and once exhaustively. The fleet spec is keyed to
+	// the fixture's weight class (quick fixtures get a small fleet) so
+	// compare runs — which adopt the baseline's fixture — stay
+	// apples-to-apples.
+	anyNs, anyExhNs, prunedFrac, fleetN := benchMatchAny(fx.TargetRows >= 500)
+
 	if baseline != nil {
 		if *timeTolerance == 0 {
 			*timeTolerance = *tolerance
 		}
-		os.Exit(compare(baseline, prep.NsPerOp(), prepareNs, snapLoad.NsPerOp(), prep.AllocsPerOp(), cold.AllocsPerOp(), *timeTolerance, *tolerance))
+		os.Exit(compare(baseline, measured{
+			preparedNs:     prep.NsPerOp(),
+			prepareNs:      prepareNs,
+			snapshotLoadNs: snapLoad.NsPerOp(),
+			matchAnyNs:     anyNs,
+			prunedFrac:     prunedFrac,
+			preparedAllocs: prep.AllocsPerOp(),
+			coldAllocs:     cold.AllocsPerOp(),
+		}, *timeTolerance, *tolerance))
 	}
 
 	// The sequential prepare point (and the speedup ratio derived from
@@ -251,6 +281,11 @@ func main() {
 		ResultBytes:    len(wire),
 		SnapshotLoadNs: snapLoad.NsPerOp(),
 		SnapshotBytes:  snapBuf.Len(),
+
+		MatchAnyNs:         anyNs,
+		MatchAnyExhaustNs:  anyExhNs,
+		MatchAnyPrunedFrac: prunedFrac,
+		MatchAnyCatalogs:   fleetN,
 	}
 
 	name := r.Date
@@ -265,15 +300,84 @@ func main() {
 	fmt.Printf("wrote %s\n%s", path, out)
 }
 
+// benchMatchAny prepares a fleet of catalogs, installs them into a
+// repository.Fleet and times one source's MatchAny twice — top-k
+// retrieval and exhaustive — returning both ns/op figures, the
+// fraction of catalogs retrieval pruned, and the fleet size. full
+// selects the 8-catalog fleet (including the 10k-scale enterprise
+// catalog, where exhaustive matching visibly degrades); quick runs get
+// a 4-catalog miniature of the same shape.
+func benchMatchAny(full bool) (retrievalNs, exhaustiveNs int64, prunedFrac float64, catalogs int) {
+	specs := []datagen.InventoryConfig{
+		{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Aaron, Seed: 11},
+		{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Barrett, Seed: 21},
+		{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Ryan, Seed: 31},
+		{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Ryan, Seed: 32, NoDistractors: true},
+	}
+	if full {
+		specs = append(specs,
+			datagen.InventoryConfig{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Aaron, Seed: 12, ExtraAttrs: 2},
+			datagen.InventoryConfig{Rows: 80, TargetRows: 40, Gamma: 4, Target: datagen.Aaron, Seed: 2, Scale: 4},
+			datagen.InventoryConfig{Rows: 80, TargetRows: 60, Gamma: 6, Target: datagen.Barrett, Seed: 22},
+			datagen.InventoryConfig{Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1, Scale: 10, ExtraAttrs: 4, NoDistractors: true},
+		)
+	}
+	m, err := ctxmatch.New()
+	exitOn(err)
+	fleet := repository.NewFleet()
+	var src *ctxmatch.Schema
+	for i, cfg := range specs {
+		fds := datagen.Inventory(cfg)
+		prepared, err := m.Prepare(context.Background(), fds.Target)
+		exitOn(err)
+		fleet.Installed(fmt.Sprintf("bench%d", i), 1, prepared)
+		if cfg.Target == datagen.Ryan && src == nil {
+			src = fds.Source
+		}
+	}
+	bench := func(q repository.Query) int64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.MatchAny(context.Background(), src, q)
+				exitOn(err)
+				if rep.Considered > 0 {
+					prunedFrac = float64(rep.Pruned) / float64(rep.Considered)
+				}
+			}
+		})
+		return r.NsPerOp()
+	}
+	retrievalNs = bench(repository.Query{K: repository.DefaultK})
+	frac := prunedFrac // the exhaustive run below prunes nothing
+	exhaustiveNs = bench(repository.Query{Exhaustive: true})
+	return retrievalNs, exhaustiveNs, frac, len(specs)
+}
+
+// measured carries the re-measured values of every gated metric into
+// compare.
+type measured struct {
+	preparedNs     int64
+	prepareNs      int64
+	snapshotLoadNs int64
+	matchAnyNs     int64
+	prunedFrac     float64
+	preparedAllocs int64
+	coldAllocs     int64
+}
+
 // compare gates the regression-prone headline metrics against the
-// baseline: prepared_ns_op, prepare_ns and snapshot_load_ns (the
-// steady-state serving cost, the catalog onboarding cost and the
-// warm-restart cost, gated with timeTol because wall clock shifts with
-// hardware) plus prepared_allocs_op and cold_allocs_op (allocation
-// discipline of the hot path and the full pipeline,
-// hardware-independent and gated with the strict allocTol). Returns the
-// process exit code: 0 within tolerance, 1 regressed.
-func compare(baseline *report, preparedNs, prepareNs, snapshotLoadNs, preparedAllocs, coldAllocs int64, timeTol, allocTol float64) int {
+// baseline: prepared_ns_op, prepare_ns, snapshot_load_ns and
+// matchany_ns (the steady-state serving cost, the catalog onboarding
+// cost, the warm-restart cost and the fleet retrieval cost, gated with
+// timeTol because wall clock shifts with hardware), plus
+// prepared_allocs_op and cold_allocs_op (allocation discipline of the
+// hot path and the full pipeline, hardware-independent and gated with
+// the strict allocTol), plus matchany_pruned_frac gated downward — a
+// collapse in the fraction of catalogs retrieval prunes is a
+// regression of the subsystem's whole point even if wall clock hides
+// it on a fast machine. Returns the process exit code: 0 within
+// tolerance, 1 regressed.
+func compare(baseline *report, now measured, timeTol, allocTol float64) int {
 	fmt.Printf("comparing against baseline %s (%s, %s/%s, fixture %d/%d rows)\n",
 		baseline.Date, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,
 		baseline.Fixture.Rows, baseline.Fixture.TargetRows)
@@ -291,11 +395,23 @@ func compare(baseline *report, preparedNs, prepareNs, snapshotLoadNs, preparedAl
 		}
 		fmt.Printf("  %-18s %12d -> %12d  (%+.1f%%)  %s\n", metric, base, now, ratio*100, verdict)
 	}
-	check("prepared_ns_op", baseline.PreparedNs, preparedNs, timeTol)
-	check("prepare_ns", baseline.PrepareNs, prepareNs, timeTol)
-	check("snapshot_load_ns", baseline.SnapshotLoadNs, snapshotLoadNs, timeTol)
-	check("prepared_allocs_op", baseline.PrepAllocs, preparedAllocs, allocTol)
-	check("cold_allocs_op", baseline.ColdAllocs, coldAllocs, allocTol)
+	check("prepared_ns_op", baseline.PreparedNs, now.preparedNs, timeTol)
+	check("prepare_ns", baseline.PrepareNs, now.prepareNs, timeTol)
+	check("snapshot_load_ns", baseline.SnapshotLoadNs, now.snapshotLoadNs, timeTol)
+	check("matchany_ns", baseline.MatchAnyNs, now.matchAnyNs, timeTol)
+	check("prepared_allocs_op", baseline.PrepAllocs, now.preparedAllocs, allocTol)
+	check("cold_allocs_op", baseline.ColdAllocs, now.coldAllocs, allocTol)
+	// Pruned fraction gates in the other direction: lower is worse.
+	if base := baseline.MatchAnyPrunedFrac; base > 0 {
+		verdict := "ok"
+		if now.prunedFrac < base*(1-allocTol) {
+			verdict = fmt.Sprintf("REGRESSED beyond %.0f%%", allocTol*100)
+			failed = true
+		}
+		fmt.Printf("  %-18s %12.3f -> %12.3f  %s\n", "matchany_pruned_frac", base, now.prunedFrac, verdict)
+	} else {
+		fmt.Printf("  %-18s baseline %.3f — skipped\n", "matchany_pruned_frac", baseline.MatchAnyPrunedFrac)
+	}
 	if failed {
 		fmt.Println("bench regression gate: FAIL")
 		return 1

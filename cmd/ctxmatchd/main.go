@@ -6,7 +6,8 @@
 //
 // Endpoints (see internal/service):
 //
-//	GET  /healthz                          liveness + catalog count
+//	GET  /healthz                          readiness: 503 while warm-restarting, else catalog/restore counts + build info
+//	GET  /metrics                          Prometheus text exposition (request counts, latency, match counters)
 //	GET  /v1/catalogs                      list prepared catalogs with stats
 //	PUT  /v1/catalogs/{name}               upload + prepare a catalog (CSV or JSON)
 //	DELETE /v1/catalogs/{name}             drop a catalog
@@ -14,11 +15,18 @@
 //	PUT  /v1/catalogs/{name}/snapshot      install a catalog from a snapshot
 //	POST /v1/catalogs/{name}/match         match one source schema
 //	POST /v1/catalogs/{name}/match-batch   match a batch with per-source isolation
+//	POST /v1/match-any                     match one source against every catalog (top-k retrieval)
 //
 // With -snapshot-dir the daemon persists every prepared catalog as a
-// *.snap file and warm-restarts the whole registry from that directory
-// before accepting traffic, so a restart costs milliseconds of snapshot
-// loading instead of re-preparing every catalog.
+// *.snap file and warm-restarts the whole registry from that directory.
+// The listener opens immediately and /healthz answers 503 "loading"
+// until the replay finishes, so orchestrators see the process alive but
+// hold traffic; a restart costs milliseconds of snapshot loading
+// instead of re-preparing every catalog.
+//
+// With -rate-limit each catalog's match traffic (and /v1/match-any's
+// fleet-wide traffic) passes token-bucket admission control; refusals
+// answer 429 with a Retry-After header.
 //
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting,
 // in-flight requests get -drain-timeout to finish, dirty catalog
@@ -65,6 +73,8 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 		maxInFlight = fs.Int("max-inflight", 0, "in-flight request bound (0 = 2×parallelism, <0 disables)")
 		drain       = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 		snapshotDir = fs.String("snapshot-dir", "", "directory to persist catalog snapshots into and warm-restart from (empty disables)")
+		rateLimit   = fs.Float64("rate-limit", 0, "per-catalog match admission rate in requests/second (0 disables)")
+		rateBurst   = fs.Int("rate-burst", 0, "token-bucket burst capacity per catalog (0 = 2×rate)")
 	)
 	matcherOpts := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +97,8 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 			RequestTimeout: *reqTimeout,
 			MaxInFlight:    *maxInFlight,
 			SnapshotDir:    *snapshotDir,
+			RateLimit:      *rateLimit,
+			RateBurst:      *rateBurst,
 		},
 		matcherOpts: opts,
 	}, nil
@@ -106,22 +118,16 @@ func run(ctx context.Context, cfg *daemonConfig, log *slog.Logger, ready chan<- 
 	if err != nil {
 		return err
 	}
-	// Warm-restart before the listener opens: the first request already
-	// sees every catalog the previous process persisted.
-	if cfg.service.SnapshotDir != "" {
-		n, err := svc.RestoreSnapshots()
-		if err != nil {
-			return err
-		}
-		log.Info("snapshots restored", "dir", cfg.service.SnapshotDir, "catalogs", n)
-	}
-
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
+	// The listener opens before the warm restart so orchestrators can
+	// probe the process immediately; /healthz answers 503 "loading"
+	// until the snapshot directory has been replayed, then turns ready.
+	svc.BeginWarmRestart()
 	ln, err := newListener(cfg.addr)
 	if err != nil {
 		return err
@@ -129,10 +135,22 @@ func run(ctx context.Context, cfg *daemonConfig, log *slog.Logger, ready chan<- 
 	log.Info("ctxmatchd listening", "addr", ln.Addr().String(),
 		"max_catalogs", cfg.service.MaxCatalogs,
 		"parallelism", matcher.Parallelism())
+	go func() { errCh <- srv.Serve(ln) }()
+	if cfg.service.SnapshotDir != "" {
+		n, err := svc.RestoreSnapshots()
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		log.Info("snapshots restored", "dir", cfg.service.SnapshotDir, "catalogs", n)
+	}
+	svc.FinishWarmRestart()
+	// ready (the tests' readiness signal) fires only after the warm
+	// restart: the address is late, but the first request a test sends
+	// is guaranteed to see the restored registry.
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	go func() { errCh <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errCh:

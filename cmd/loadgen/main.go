@@ -1,0 +1,340 @@
+// Command loadgen drives match traffic at a ctxmatchd daemon at a
+// target request rate and reports latency percentiles — the serving
+// layer's capacity measurement tool.
+//
+//	loadgen -addr http://127.0.0.1:8080 -mode match -catalog shop -rps 50 -duration 30s
+//	loadgen -ephemeral -mode mixed -rps 25 -duration 10s -fail-on-error
+//
+// Modes: "match" posts every request at one catalog
+// (POST /v1/catalogs/{name}/match), "match-any" fans each source over
+// the whole registry (POST /v1/match-any), "mixed" alternates the two.
+// The source schema is a datagen inventory source, so any catalog
+// prepared from the same generator scores meaningfully.
+//
+// With -ephemeral the tool boots a complete in-process daemon on a
+// loopback port, seeds it with -seed-catalogs prepared catalogs, aims
+// the load at itself and tears it down after — a self-contained smoke
+// test needing no running infrastructure (CI runs exactly that with
+// -fail-on-error, which exits non-zero on any transport error or any
+// status other than 200/429).
+//
+// The pacing loop is open-loop: requests launch on a fixed interval
+// regardless of in-flight completions, up to -workers concurrent; when
+// all workers are busy the tick is counted as dropped rather than
+// queued, so reported latency is not inflated by client-side queueing.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
+	"ctxmatch/internal/service"
+)
+
+type config struct {
+	addr         string
+	mode         string
+	catalog      string
+	rps          float64
+	duration     time.Duration
+	workers      int
+	k            int
+	seed         int64
+	ephemeral    bool
+	seedCatalogs int
+	failOnError  bool
+	jsonOut      bool
+}
+
+func parseConfig(args []string, w io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", "", "target daemon base URL, e.g. http://127.0.0.1:8080 (required unless -ephemeral)")
+	fs.StringVar(&cfg.mode, "mode", "match", "traffic mode: match, match-any, or mixed")
+	fs.StringVar(&cfg.catalog, "catalog", "loadgen0", "catalog name for match-mode requests")
+	fs.Float64Var(&cfg.rps, "rps", 10, "target request rate per second")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load")
+	fs.IntVar(&cfg.workers, "workers", 2*runtime.GOMAXPROCS(0), "max concurrent in-flight requests")
+	fs.IntVar(&cfg.k, "k", 0, "match-any k knob (0 = server default)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "datagen seed for the source workload")
+	fs.BoolVar(&cfg.ephemeral, "ephemeral", false, "boot an in-process daemon, seed it, and load-test it")
+	fs.IntVar(&cfg.seedCatalogs, "seed-catalogs", 3, "catalogs to prepare into the ephemeral daemon")
+	fs.BoolVar(&cfg.failOnError, "fail-on-error", false, "exit non-zero on any transport error or status other than 200/429")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	switch cfg.mode {
+	case "match", "match-any", "mixed":
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want match, match-any, or mixed)", cfg.mode)
+	}
+	if !cfg.ephemeral && cfg.addr == "" {
+		return nil, fmt.Errorf("-addr is required without -ephemeral")
+	}
+	if cfg.rps <= 0 {
+		return nil, fmt.Errorf("-rps must be positive")
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	return cfg, nil
+}
+
+// summary is the run's outcome: request counts by disposition and the
+// latency distribution of completed requests.
+type summary struct {
+	Requests    int            `json:"requests"`
+	Dropped     int            `json:"dropped"`
+	RateLimited int            `json:"rate_limited"`
+	Errors      int            `json:"errors"`
+	ByStatus    map[string]int `json:"by_status"`
+	P50ms       float64        `json:"p50_ms"`
+	P95ms       float64        `json:"p95_ms"`
+	P99ms       float64        `json:"p99_ms"`
+	MaxMs       float64        `json:"max_ms"`
+	AchievedRPS float64        `json:"achieved_rps"`
+}
+
+// percentile returns the p-quantile (0..1) of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// startEphemeral boots an in-process daemon on a loopback port, seeds
+// seedCatalogs prepared catalogs named loadgen0.. into it, and returns
+// its base URL plus a shutdown func.
+func startEphemeral(ctx context.Context, cfg *config, log *slog.Logger) (string, func(), error) {
+	matcher, err := ctxmatch.New(ctxmatch.WithSeed(cfg.seed))
+	if err != nil {
+		return "", nil, err
+	}
+	svc, err := service.New(service.Config{
+		Matcher:     matcher,
+		MaxCatalogs: cfg.seedCatalogs + 1,
+		Logger:      log,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	targets := []datagen.TargetSchema{datagen.Aaron, datagen.Barrett, datagen.Ryan}
+	for i := 0; i < cfg.seedCatalogs; i++ {
+		ds := datagen.Inventory(datagen.InventoryConfig{
+			Rows: 60, TargetRows: 90, Gamma: 3,
+			Target: targets[i%len(targets)], Seed: cfg.seed + int64(i),
+		})
+		name := fmt.Sprintf("loadgen%d", i)
+		if _, _, _, err := svc.Registry().Prepare(ctx, name, ds.Target); err != nil {
+			return "", nil, fmt.Errorf("seeding catalog %s: %w", name, err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// sourceBody builds the JSON bodies the two endpoints consume, from
+// the datagen inventory source workload.
+func sourceBody(cfg *config) (matchBody, matchAnyBody []byte, err error) {
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 60, TargetRows: 90, Gamma: 3, Target: datagen.Ryan, Seed: cfg.seed,
+	})
+	doc, err := service.DocFromSchema(ds.Source)
+	if err != nil {
+		return nil, nil, err
+	}
+	matchBody, err = json.Marshal(map[string]any{"source": doc})
+	if err != nil {
+		return nil, nil, err
+	}
+	matchAnyBody, err = json.Marshal(service.MatchAnyRequest{Source: doc, K: cfg.k})
+	if err != nil {
+		return nil, nil, err
+	}
+	return matchBody, matchAnyBody, nil
+}
+
+// run drives the load and writes the summary to out.
+func run(ctx context.Context, cfg *config, log *slog.Logger, out io.Writer) (*summary, error) {
+	base := cfg.addr
+	if cfg.ephemeral {
+		var shutdown func()
+		var err error
+		base, shutdown, err = startEphemeral(ctx, cfg, log)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+	}
+	matchBody, matchAnyBody, err := sourceBody(cfg)
+	if err != nil {
+		return nil, err
+	}
+	matchURL := base + "/v1/catalogs/" + cfg.catalog + "/match"
+	matchAnyURL := base + "/v1/match-any"
+
+	type job struct {
+		url  string
+		body []byte
+	}
+	pick := func(i int) job {
+		switch {
+		case cfg.mode == "match", cfg.mode == "mixed" && i%2 == 0:
+			return job{matchURL, matchBody}
+		default:
+			return job{matchAnyURL, matchAnyBody}
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sum       = &summary{ByStatus: map[string]int{}}
+	)
+	client := &http.Client{Timeout: 60 * time.Second}
+	record := func(status int, d time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		sum.Requests++
+		if err != nil {
+			sum.Errors++
+			sum.ByStatus["transport_error"]++
+			return
+		}
+		sum.ByStatus[fmt.Sprint(status)]++
+		switch {
+		case status == http.StatusTooManyRequests:
+			sum.RateLimited++
+		case status != http.StatusOK:
+			sum.Errors++
+		}
+		latencies = append(latencies, d)
+	}
+
+	sem := make(chan struct{}, cfg.workers)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.duration)
+	defer deadline.Stop()
+	start := time.Now()
+
+loop:
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			mu.Lock()
+			sum.Dropped++
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Post(j.url, "application/json", bytes.NewReader(j.body))
+			if err != nil {
+				record(0, 0, err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			record(resp.StatusCode, time.Since(t0), nil)
+		}(pick(i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sum.P50ms = percentile(latencies, 0.50).Seconds() * 1000
+	sum.P95ms = percentile(latencies, 0.95).Seconds() * 1000
+	sum.P99ms = percentile(latencies, 0.99).Seconds() * 1000
+	if n := len(latencies); n > 0 {
+		sum.MaxMs = latencies[n-1].Seconds() * 1000
+	}
+	if elapsed > 0 {
+		sum.AchievedRPS = float64(sum.Requests) / elapsed.Seconds()
+	}
+
+	if cfg.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return nil, err
+		}
+	} else {
+		fmt.Fprintf(out, "mode=%s target=%s rps_target=%.1f duration=%s\n", cfg.mode, base, cfg.rps, cfg.duration)
+		fmt.Fprintf(out, "requests=%d dropped=%d rate_limited=%d errors=%d achieved_rps=%.1f\n",
+			sum.Requests, sum.Dropped, sum.RateLimited, sum.Errors, sum.AchievedRPS)
+		fmt.Fprintf(out, "latency_ms p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			sum.P50ms, sum.P95ms, sum.P99ms, sum.MaxMs)
+		for status, n := range sum.ByStatus {
+			fmt.Fprintf(out, "status %s: %d\n", status, n)
+		}
+	}
+	if cfg.failOnError && sum.Errors > 0 {
+		return sum, fmt.Errorf("%d requests failed (statuses other than 200/429)", sum.Errors)
+	}
+	if sum.Requests == 0 {
+		return sum, fmt.Errorf("no requests completed")
+	}
+	return sum, nil
+}
+
+func main() {
+	log := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	cfg, err := parseConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if _, err := run(ctx, cfg, log, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig([]string{"-ephemeral", "-rps", "5", "-mode", "mixed"}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if !cfg.ephemeral || cfg.rps != 5 || cfg.mode != "mixed" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	for _, bad := range [][]string{
+		{"-mode", "chaos"},
+		{"-rps", "0", "-ephemeral"},
+		{},                       // no -addr, no -ephemeral
+		{"-addr", ":0", "stray"}, // stray positional
+	} {
+		if _, err := parseConfig(append([]string{}, bad...), io.Discard); err == nil {
+			t.Errorf("parseConfig(%v) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestEphemeralSmoke is the self-contained load test CI runs: an
+// in-process daemon, mixed match / match-any traffic, and the
+// requirement that nothing fails.
+func TestEphemeralSmoke(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-ephemeral", "-mode", "mixed", "-rps", "25",
+		"-duration", "2s", "-seed-catalogs", "2", "-fail-on-error",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	var out strings.Builder
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sum, err := run(ctx, cfg, log, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if sum.Requests == 0 || sum.Errors != 0 {
+		t.Fatalf("summary = %+v\n%s", sum, out.String())
+	}
+	if !strings.Contains(out.String(), "latency_ms p50=") {
+		t.Fatalf("summary text missing percentiles:\n%s", out.String())
+	}
+	if sum.P50ms <= 0 || sum.P99ms < sum.P50ms {
+		t.Fatalf("implausible percentiles: %+v", sum)
+	}
+}
+
+// TestJSONOutput checks the machine-readable summary shape.
+func TestJSONOutput(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-ephemeral", "-mode", "match-any", "-rps", "10",
+		"-duration", "1s", "-seed-catalogs", "1", "-json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	var out strings.Builder
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if _, err := run(context.Background(), cfg, log, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, key := range []string{`"requests"`, `"p50_ms"`, `"achieved_rps"`, `"by_status"`} {
+		if !strings.Contains(out.String(), key) {
+			t.Errorf("JSON summary missing %s:\n%s", key, out.String())
+		}
+	}
+}

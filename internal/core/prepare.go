@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ctxmatch/internal/match"
@@ -31,6 +32,11 @@ type PreparedTarget struct {
 	// it was loaded from a snapshot rather than prepared fresh.
 	snapshotBytes int
 	restored      bool
+
+	// matches counts successful prepared matches through this handle
+	// over its lifetime. It is a pointer so WithParallelism copies share
+	// one counter — the serving layer reports it per catalog.
+	matches *atomic.Int64
 }
 
 // PrepareTarget eagerly resolves the target-side artifacts for tgt under
@@ -51,7 +57,7 @@ func PrepareTarget(ctx context.Context, tgt *relational.Schema, opt Options) (*P
 			return nil, err
 		}
 	}
-	pt := &PreparedTarget{tgt: tgt, opt: opt, eng: opt.engine()}
+	pt := &PreparedTarget{tgt: tgt, opt: opt, eng: opt.engine(), matches: &atomic.Int64{}}
 	// The preparation itself fans across the run's worker budget:
 	// per-column feature extraction (merged deterministically into the
 	// shared dictionary) concurrent with per-domain classifier training.
@@ -95,6 +101,10 @@ type PrepStats struct {
 	// RestoredFromSnapshot reports whether the handle came from
 	// LoadPreparedTarget rather than PrepareTarget.
 	RestoredFromSnapshot bool
+	// Matches counts the successful prepared matches served through the
+	// handle (shared across WithParallelism copies) — the per-catalog
+	// traffic figure a serving layer exports.
+	Matches int64
 }
 
 // Stats reports the size of the catalog and of the pinned artifacts.
@@ -111,6 +121,7 @@ func (pt *PreparedTarget) Stats() PrepStats {
 		IndexHitRate:         ix.HitRate(),
 		SnapshotBytes:        pt.snapshotBytes,
 		RestoredFromSnapshot: pt.restored,
+		Matches:              pt.matches.Load(),
 	}
 	for _, t := range pt.tgt.Tables {
 		s.Rows += len(t.Rows)
@@ -121,6 +132,13 @@ func (pt *PreparedTarget) Stats() PrepStats {
 
 // Options returns the options the handle was prepared under.
 func (pt *PreparedTarget) Options() Options { return pt.opt }
+
+// Features exposes the handle's precomputed column feature layer — the
+// frozen gram dictionary, per-column ID vectors and the inverted
+// candidate index — to the cross-catalog retrieval subsystem
+// (internal/repository), which probes many catalogs' indexes without
+// running full matches.
+func (pt *PreparedTarget) Features() *match.TargetFeatures { return pt.arts.feats }
 
 // WithParallelism returns a copy of the handle whose runs use n workers
 // for per-source-table fan-out, sharing the same pinned artifacts.
@@ -150,5 +168,9 @@ func ContextMatchPrepared(ctx context.Context, src *relational.Schema, pt *Prepa
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return contextMatchPrepared(ctx, src, pt, time.Now())
+	res, err := contextMatchPrepared(ctx, src, pt, time.Now())
+	if err == nil {
+		pt.matches.Add(1)
+	}
+	return res, err
 }

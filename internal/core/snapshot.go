@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"ctxmatch/internal/snapshot"
 )
@@ -76,5 +77,6 @@ func LoadPreparedTarget(r io.Reader) (*PreparedTarget, error) {
 		arts:          arts,
 		snapshotBytes: size,
 		restored:      true,
+		matches:       &atomic.Int64{},
 	}, nil
 }

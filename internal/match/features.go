@@ -235,6 +235,17 @@ func (tf *TargetFeatures) Columns() int {
 	return len(tf.ngrams) + len(tf.numbers)
 }
 
+// MaxValues returns the per-column value cap the layer's n-gram vectors
+// were built under (0 = uncapped). A retrieval layer building source
+// vectors to probe this layer's index uses the same cap so both sides
+// sample columns identically.
+func (tf *TargetFeatures) MaxValues() int {
+	if tf == nil {
+		return 0
+	}
+	return tf.maxValues
+}
+
 // Index returns the inverted gram-ID candidate index over the layer's
 // string columns, or nil when the layer was built exhaustively (or
 // holds no string columns).

@@ -1,0 +1,58 @@
+package repository
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkMatchAny measures the subsystem's reason to exist: answering
+// "which catalog matches this source?" over the eight-catalog fleet
+// (including the 10k-row fixture) via top-k retrieval plus k exact
+// matches, against the exhaustive baseline that matches every catalog.
+func BenchmarkMatchAny(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fleet fixture skipped in -short mode")
+	}
+	f := newTestFleet(b, 1)
+	src := sharedFleet(b).datasets["aaron-1"].Source
+	for _, mode := range []struct {
+		name string
+		q    Query
+	}{
+		{"retrieval", Query{K: 3}},
+		{"exhaustive", Query{Exhaustive: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := f.MatchAny(context.Background(), src, mode.q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Best() == nil {
+					b.Fatal("no winner")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetrieve isolates the retrieval walk itself — scoring all
+// eight catalogs' candidate indexes under the advancing top-k floor,
+// no exact matches.
+func BenchmarkRetrieve(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fleet fixture skipped in -short mode")
+	}
+	f := newTestFleet(b, 1)
+	entries := f.Entries()
+	src := sharedFleet(b).datasets["aaron-1"].Source
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores := retrieve(entries, src, 3, 0)
+		if len(scores) != len(entries) {
+			b.Fatal("short score list")
+		}
+	}
+}

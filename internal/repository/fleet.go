@@ -1,0 +1,317 @@
+// Package repository implements fleet-wide catalog retrieval: matching
+// one incoming source schema against a whole registry of prepared
+// catalogs ("which of our catalogs does this schema match, and
+// where?").
+//
+// The expensive, exact answer — run the full prepared match against
+// every catalog — degrades linearly with fleet size. The Fleet instead
+// keeps a retrieval view over every catalog's existing candidate
+// index (the inverted gram-ID postings each prepared handle already
+// pins) and scores the source's columns against all of them cheaply:
+// per catalog, the evidence score is the mean over source string
+// columns of the best cosine any of that catalog's columns achieves.
+// Catalogs are scored in deterministic name order under an advancing
+// top-k floor — once k catalogs have been scored, the k-th best
+// evidence so far becomes a WAND-style floor handed to
+// tokenize.Index.ScoreColumnsFloored, and a catalog that provably
+// cannot reach it is pruned without finishing its scan. The exact
+// prepared match then runs only on the survivors.
+//
+// Pruning is conservative and the walk order fixed, so retrieval is
+// deterministic: the survivor set is exactly the true top-k by
+// evidence (ties broken by name), and each survivor's full Result is
+// bit-identical to what a direct Target.Match would return.
+//
+// A Fleet tracks registry mutations through Installed/Removed — the
+// same atomic-swap semantics as the catalog registry: entries are
+// immutable, a re-install replaces the entry atomically, and in-flight
+// retrievals finish on the entry snapshot they already took, so an
+// eviction mid-retrieval never fails a request.
+package repository
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+
+	"ctxmatch"
+	"ctxmatch/internal/match"
+)
+
+// Entry is one catalog of the fleet: the registry name and generation
+// it was installed under, the prepared handle, and the handle's feature
+// layer (dictionary + candidate index) the retrieval walk probes. An
+// Entry is immutable after Installed publishes it.
+type Entry struct {
+	// Name is the registry name the catalog is installed under.
+	Name string
+	// Generation is the registry generation of the installed handle.
+	Generation int
+	// Target is the prepared handle exact matches run on.
+	Target *ctxmatch.Target
+
+	feats *match.TargetFeatures
+}
+
+// Indexed reports whether the catalog carries a candidate index to
+// probe. A catalog prepared with an Exhaustive engine (or holding no
+// string columns) has none; it cannot be scored cheaply and therefore
+// always survives retrieval.
+func (e *Entry) Indexed() bool { return e.feats.Index() != nil }
+
+// Fleet is the cross-catalog retrieval index: the set of installed
+// catalog entries, kept consistent with the owning registry through
+// Installed/Removed. All methods are safe for concurrent use.
+type Fleet struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{entries: map[string]*Entry{}}
+}
+
+// Installed publishes (or atomically replaces) the entry for name. It
+// is called for every registry install — prepare, re-prepare and
+// snapshot restore — under the registry's own lock, so the fleet's
+// view is linearized with the registry's.
+func (f *Fleet) Installed(name string, generation int, t *ctxmatch.Target) {
+	e := &Entry{
+		Name:       name,
+		Generation: generation,
+		Target:     t,
+		feats:      t.Prepared().Features(),
+	}
+	f.mu.Lock()
+	f.entries[name] = e
+	f.mu.Unlock()
+}
+
+// Removed drops name's entry — LRU eviction or explicit deletion.
+// Retrievals that already snapshotted the entry finish on it; the
+// prepared handle stays valid for them, exactly as registry readers
+// finish on an evicted handle.
+func (f *Fleet) Removed(name string) {
+	f.mu.Lock()
+	delete(f.entries, name)
+	f.mu.Unlock()
+}
+
+// Len returns how many catalogs the fleet currently indexes.
+func (f *Fleet) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.entries)
+}
+
+// Entries snapshots the installed catalogs in ascending name order —
+// the deterministic walk order of every retrieval.
+func (f *Fleet) Entries() []*Entry {
+	f.mu.RLock()
+	out := make([]*Entry, 0, len(f.entries))
+	for _, e := range f.entries {
+		out = append(out, e)
+	}
+	f.mu.RUnlock()
+	slices.SortFunc(out, func(a, b *Entry) int { return strings.Compare(a.Name, b.Name) })
+	return out
+}
+
+// DefaultK is the survivor count when a query does not set one.
+const DefaultK = 3
+
+// Query parameterizes one match-any request.
+type Query struct {
+	// K is how many top-scoring catalogs survive retrieval and receive
+	// the exact prepared match; ≤ 0 means DefaultK. Catalogs without a
+	// candidate index always survive, beyond K.
+	K int
+	// MinScore is the per-column cosine floor: a source column whose
+	// best cosine against a catalog falls below it contributes zero
+	// evidence. It is also the minimum WAND floor handed to the index,
+	// so raising it prunes more postings. Must be in [0, 1).
+	MinScore float64
+	// Exhaustive skips retrieval entirely and matches every catalog —
+	// the A/B baseline match-any is measured against.
+	Exhaustive bool
+}
+
+// CatalogScore is one catalog's retrieval outcome.
+type CatalogScore struct {
+	// Name and Generation identify the scored catalog entry.
+	Name       string `json:"name"`
+	Generation int    `json:"generation"`
+	// Evidence is the catalog's retrieval score in [0, 1]: the mean
+	// over source string columns of the best cosine any catalog column
+	// achieves (columns under the query's MinScore contribute 0).
+	// Exact for every non-pruned catalog.
+	Evidence float64 `json:"evidence"`
+	// Pruned reports that the advancing top-k floor proved the catalog
+	// could not reach the current k-th best evidence, so its scan was
+	// cut short; Evidence is then a partial lower bound.
+	Pruned bool `json:"pruned,omitempty"`
+	// Unindexed reports the catalog carries no candidate index and
+	// therefore bypassed retrieval (it always survives).
+	Unindexed bool `json:"unindexed,omitempty"`
+}
+
+// CatalogMatch is one survivor's exact match outcome.
+type CatalogMatch struct {
+	// Name and Generation identify the matched catalog entry.
+	Name       string
+	Generation int
+	// Evidence is the catalog's retrieval score (0 in Exhaustive mode
+	// and for unindexed catalogs).
+	Evidence float64
+	// Score ranks the catalog: the sum of the confidences of the
+	// result's selected matches. Ties break by name.
+	Score float64
+	// Result is the full prepared-match result — bit-identical to a
+	// direct Target.Match of the same source.
+	Result *ctxmatch.Result
+	// Err is the isolated failure of this catalog's match, leaving
+	// sibling catalogs unaffected; Result is then nil.
+	Err error
+}
+
+// Report is the outcome of one MatchAny: the exact-matched survivors in
+// rank order plus the retrieval scores of every considered catalog.
+type Report struct {
+	// Ranked holds the survivors' exact match outcomes, best first
+	// (score descending, failed matches last, ties by name).
+	Ranked []CatalogMatch
+	// Retrieval holds every considered catalog's evidence score,
+	// survivors first in rank order, then pruned catalogs by name.
+	// Empty in Exhaustive mode.
+	Retrieval []CatalogScore
+	// Considered, Pruned and Matched count the catalogs the request
+	// touched: all installed, cut off by the advancing floor, and
+	// exact-matched.
+	Considered, Pruned, Matched int
+}
+
+// Best returns the top-ranked successful match, or nil when no catalog
+// matched.
+func (r *Report) Best() *CatalogMatch {
+	for i := range r.Ranked {
+		if r.Ranked[i].Err == nil {
+			return &r.Ranked[i]
+		}
+	}
+	return nil
+}
+
+// MatchAny answers "which catalogs does this source match, and where?":
+// it retrieves the top-k candidate catalogs by indexed evidence (see
+// the package comment for the pruning invariants), runs the exact
+// prepared match on each survivor, and ranks the outcomes. Per-catalog
+// match failures are isolated in their CatalogMatch; MatchAny itself
+// fails only on an empty source or when ctx dies.
+func (f *Fleet) MatchAny(ctx context.Context, src *ctxmatch.Schema, q Query) (*Report, error) {
+	if src == nil || len(src.Tables) == 0 {
+		return nil, fmt.Errorf("source %w", ctxmatch.ErrEmptySchema)
+	}
+	if q.K <= 0 {
+		q.K = DefaultK
+	}
+	if q.MinScore < 0 || q.MinScore >= 1 {
+		return nil, fmt.Errorf("%w: match-any min score %v outside [0, 1)", ctxmatch.ErrInvalidOption, q.MinScore)
+	}
+	entries := f.Entries()
+	report := &Report{Considered: len(entries)}
+
+	var survivors []*Entry
+	var evidence map[string]float64
+	if q.Exhaustive {
+		survivors = entries
+	} else {
+		scores := retrieve(entries, src, q.K, q.MinScore)
+		report.Retrieval = scores
+		evidence = make(map[string]float64, len(scores))
+		for _, cs := range scores {
+			if cs.Pruned {
+				report.Pruned++
+				continue
+			}
+			evidence[cs.Name] = cs.Evidence
+		}
+		survivors = pickSurvivors(entries, scores, q.K)
+	}
+
+	for _, e := range survivors {
+		cm := CatalogMatch{Name: e.Name, Generation: e.Generation, Evidence: evidence[e.Name]}
+		res, err := e.Target.Match(ctx, src)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			cm.Err = fmt.Errorf("catalog %q: %w", e.Name, err)
+		} else {
+			cm.Result = res
+			cm.Score = aggregateScore(res)
+			report.Matched++
+		}
+		report.Ranked = append(report.Ranked, cm)
+	}
+	slices.SortStableFunc(report.Ranked, rankCatalogMatches)
+	return report, nil
+}
+
+// rankCatalogMatches orders survivors best-first: successful matches
+// before failed ones, higher scores first, ties by name so the ranking
+// is deterministic.
+func rankCatalogMatches(a, b CatalogMatch) int {
+	switch {
+	case a.Err == nil && b.Err != nil:
+		return -1
+	case a.Err != nil && b.Err == nil:
+		return 1
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	}
+	return strings.Compare(a.Name, b.Name)
+}
+
+// aggregateScore reduces a result to the catalog-ranking scalar: the
+// sum of the selected matches' confidences, rewarding both per-edge
+// quality and coverage. Deterministic because the match itself is.
+func aggregateScore(res *ctxmatch.Result) float64 {
+	var s float64
+	for _, e := range res.Matches {
+		s += e.Confidence
+	}
+	return s
+}
+
+// pickSurvivors selects the exact-match set: the top-k non-pruned
+// indexed catalogs by (evidence desc, name asc), plus every unindexed
+// catalog (no index to prove anything about — they always get the
+// exact match). Entries arrive in name order, so the selection is
+// deterministic.
+func pickSurvivors(entries []*Entry, scores []CatalogScore, k int) []*Entry {
+	byName := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var out []*Entry
+	taken := 0
+	for _, cs := range scores {
+		if cs.Pruned {
+			continue
+		}
+		if cs.Unindexed {
+			out = append(out, byName[cs.Name])
+			continue
+		}
+		if taken < k {
+			out = append(out, byName[cs.Name])
+			taken++
+		}
+	}
+	return out
+}

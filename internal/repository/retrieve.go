@@ -1,0 +1,251 @@
+package repository
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"strings"
+
+	"ctxmatch"
+	"ctxmatch/internal/relational"
+	"ctxmatch/internal/tokenize"
+)
+
+// gramCount is one (gram, count) pair of a source column's trigram
+// multiset, in gram-string form so it can be re-keyed into any
+// catalog's interned ID space.
+type gramCount struct {
+	g string
+	c float64
+}
+
+// srcColumn is the catalog-independent profile of one source string
+// column: its deduplicated gram counts (sorted by gram for determinism)
+// and the Euclidean norm of the counts — which is the same under every
+// ID mapping, so it is computed once.
+type srcColumn struct {
+	grams []gramCount
+	norm  float64
+}
+
+// extractColumns profiles every string-domain column of src: trigram
+// counts over at most maxValues non-null values per column (0 = all),
+// the same per-column sampling rule the catalogs' own index vectors
+// were built under.
+func extractColumns(src *ctxmatch.Schema, maxValues int) []srcColumn {
+	var out []srcColumn
+	for _, t := range src.Tables {
+		for ai, a := range t.Attrs {
+			if a.Type.Domain() != relational.DomainString {
+				continue
+			}
+			counts := map[string]float64{}
+			n := 0
+			for _, row := range t.Rows {
+				v := row[ai]
+				if v.IsNull() {
+					continue
+				}
+				for g := range tokenize.TrigramSeq(v.Str()) {
+					counts[g]++
+				}
+				n++
+				if maxValues > 0 && n >= maxValues {
+					break
+				}
+			}
+			col := srcColumn{grams: make([]gramCount, 0, len(counts))}
+			for g, c := range counts {
+				col.grams = append(col.grams, gramCount{g, c})
+			}
+			slices.SortFunc(col.grams, func(a, b gramCount) int { return strings.Compare(a.g, b.g) })
+			var norm2 float64
+			for _, gc := range col.grams {
+				norm2 += gc.c * gc.c
+			}
+			col.norm = math.Sqrt(norm2)
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// vector re-keys a source column profile into the entry's interned ID
+// space: grams known to the catalog's dictionary take their dense ID,
+// unknown grams take per-build overflow IDs past the dictionary — out
+// of every posting list's range, so they can never intersect, but still
+// part of the norm — exactly the convention the matching path's
+// VectorBuilder uses for out-of-vocabulary grams.
+func (e *Entry) vector(col *srcColumn) *tokenize.IDVector {
+	if len(col.grams) == 0 {
+		return tokenize.NewIDVector(nil, nil, 0)
+	}
+	d := e.feats.Dict()
+	base := uint32(d.Len())
+	overflow := uint32(0)
+	type pair struct {
+		id uint32
+		c  float64
+	}
+	pairs := make([]pair, len(col.grams))
+	for i, gc := range col.grams {
+		id, ok := d.Lookup(gc.g)
+		if !ok {
+			id = base + overflow
+			overflow++
+		}
+		pairs[i] = pair{id, gc.c}
+	}
+	slices.SortFunc(pairs, func(a, b pair) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	ids := make([]uint32, len(pairs))
+	counts := make([]float64, len(pairs))
+	for i, p := range pairs {
+		ids[i] = p.id
+		counts[i] = p.c
+	}
+	return tokenize.NewIDVector(ids, counts, col.norm)
+}
+
+// retrieve scores every entry's catalog against the source and returns
+// the per-catalog outcomes ordered survivors-first (evidence desc, name
+// asc), pruned catalogs last by name.
+//
+// The walk is deterministic — entries arrive in name order — and the
+// top-k floor advances monotonically: once k catalogs have exact
+// evidence, the k-th best so far floors every later catalog. Per source
+// column j of n the walk derives the contribution the column must at
+// least achieve for the catalog to still reach the floor even if all
+// remaining columns scored a perfect 1 (`needed`), and passes
+// max(minScore, needed) to ScoreColumnsFloored. The floored scan
+// returns exact values at or above its floor, so a returned best ≥
+// floor is the column's true best; a returned zero proves the true
+// best is below the floor, which either contributes exactly 0 (floor
+// was minScore — sub-threshold scores are discarded anyway) or proves
+// the whole catalog cannot reach the k-th best evidence and is pruned.
+// Either way every non-pruned catalog's evidence is exact, so the
+// survivor set is the true top-k.
+func retrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64) []CatalogScore {
+	// Source profiles are keyed by the catalog's sampling cap; fleets
+	// prepared by one matcher share a single cap, so this usually
+	// extracts once.
+	profiles := map[int][]srcColumn{}
+	colsFor := func(maxValues int) []srcColumn {
+		if cols, ok := profiles[maxValues]; ok {
+			return cols
+		}
+		cols := extractColumns(src, maxValues)
+		profiles[maxValues] = cols
+		return cols
+	}
+
+	floor := newTopK(k)
+	scores := make([]CatalogScore, 0, len(entries))
+	var row []float64
+	for _, e := range entries {
+		cs := CatalogScore{Name: e.Name, Generation: e.Generation}
+		ix := e.feats.Index()
+		if ix == nil {
+			cs.Unindexed = true
+			scores = append(scores, cs)
+			continue
+		}
+		cols := colsFor(e.feats.MaxValues())
+		n := len(cols)
+		if cap(row) < ix.Columns() {
+			row = make([]float64, ix.Columns())
+		}
+		var sum float64
+		pruned := false
+		for j := range cols {
+			rem := float64(n - 1 - j)
+			needed := floor.kth()*float64(n) - sum - rem
+			if needed > 1 {
+				// Even a perfect remaining scan cannot reach the floor.
+				pruned = true
+				break
+			}
+			f := max(minScore, needed)
+			vec := e.vector(&cols[j])
+			r := row[:ix.Columns()]
+			ix.ScoreColumnsFloored(vec, r, f)
+			best := 0.0
+			for _, x := range r {
+				if x > best {
+					best = x
+				}
+			}
+			if best > 0 {
+				sum += best
+				continue
+			}
+			// The floored scan proved the column's true best is below f.
+			if needed > minScore {
+				pruned = true
+				break
+			}
+			// f was minScore: the column's best is sub-threshold and
+			// contributes exactly 0.
+		}
+		cs.Pruned = pruned
+		if !pruned && n > 0 {
+			cs.Evidence = sum / float64(n)
+			floor.push(cs.Evidence)
+		}
+		scores = append(scores, cs)
+	}
+
+	sort.SliceStable(scores, func(i, j int) bool {
+		a, b := scores[i], scores[j]
+		if a.Pruned != b.Pruned {
+			return !a.Pruned
+		}
+		if a.Evidence != b.Evidence {
+			return a.Evidence > b.Evidence
+		}
+		return a.Name < b.Name
+	})
+	return scores
+}
+
+// topK tracks the k best evidence values seen so far; kth reports the
+// advancing floor — 0 until k catalogs have been scored.
+type topK struct {
+	k int
+	v []float64 // descending, at most k values
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) push(x float64) {
+	if t.k <= 0 {
+		return
+	}
+	i, _ := slices.BinarySearchFunc(t.v, x, func(a, b float64) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		}
+		return 0
+	})
+	t.v = slices.Insert(t.v, i, x)
+	if len(t.v) > t.k {
+		t.v = t.v[:t.k]
+	}
+}
+
+func (t *topK) kth() float64 {
+	if len(t.v) < t.k {
+		return 0
+	}
+	return t.v[len(t.v)-1]
+}

@@ -11,11 +11,15 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"slices"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctxmatch"
+	"ctxmatch/internal/repository"
 )
 
 // Config assembles a Server. The zero value of every optional field
@@ -45,15 +49,35 @@ type Config struct {
 	// snapshot HTTP endpoints work either way. The directory is created
 	// if missing.
 	SnapshotDir string
+	// RateLimit, when > 0, enables token-bucket admission control on
+	// the match endpoints: each catalog admits RateLimit requests per
+	// second (with RateBurst capacity), and /v1/match-any draws from
+	// its own fleet-wide bucket at the same rate. Refused requests get
+	// 429 with a Retry-After header. 0 disables.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity per catalog; default
+	// max(1, ceil(2×RateLimit)).
+	RateBurst int
 }
 
 // Server is the ctxmatchd HTTP service: the catalog registry plus the
 // handler stack around it.
 type Server struct {
-	reg *Registry
-	log *slog.Logger
-	cfg Config
-	sem chan struct{}
+	reg     *Registry
+	fleet   *repository.Fleet
+	metrics *serverMetrics
+	limiter *limiterSet
+	log     *slog.Logger
+	cfg     Config
+	sem     chan struct{}
+
+	// loading is true during a warm restart: the readiness probe
+	// answers 503 until the snapshot directory has been replayed, so a
+	// load balancer never routes traffic at a half-restored registry.
+	loading atomic.Bool
+	// restored counts catalogs installed from persisted snapshots over
+	// the server's lifetime.
+	restored atomic.Int64
 }
 
 // New validates cfg and builds the service.
@@ -82,10 +106,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		reg: NewRegistry(cfg.Matcher, cfg.MaxCatalogs),
-		log: cfg.Logger,
-		cfg: cfg,
+		reg:     NewRegistry(cfg.Matcher, cfg.MaxCatalogs),
+		fleet:   repository.NewFleet(),
+		limiter: newLimiterSet(cfg.RateLimit, cfg.RateBurst),
+		log:     cfg.Logger,
+		cfg:     cfg,
 	}
+	// The fleet observes every registry mutation under the registry's
+	// lock, so /v1/match-any always sees exactly the installed catalogs.
+	s.reg.Observe(s.fleet)
+	s.metrics = newServerMetrics(s)
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -96,10 +126,26 @@ func New(cfg Config) (*Server, error) {
 // process wrapper.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Fleet exposes the cross-catalog retrieval index, mainly to tests.
+func (s *Server) Fleet() *repository.Fleet { return s.fleet }
+
+// BeginWarmRestart marks the server as loading: the readiness probe
+// answers 503 until FinishWarmRestart. Call before opening the
+// listener when restoring snapshots concurrently with serving.
+func (s *Server) BeginWarmRestart() { s.loading.Store(true) }
+
+// FinishWarmRestart marks the warm restart complete; /healthz turns
+// ready.
+func (s *Server) FinishWarmRestart() { s.loading.Store(false) }
+
 // Handler returns the daemon's full handler stack: recovery and request
-// logging around everything; body-size limit, request timeout and the
-// in-flight bound around the API routes (but not /healthz, which must
-// answer even when the matcher is saturated).
+// logging around everything; body-size limit, request timeout, metrics
+// capture and the in-flight bound around the API routes (but not
+// /healthz and /metrics, which must answer even when the matcher is
+// saturated). The metrics middleware sits inside withTimeout — which
+// clones the request — so it still holds the request object the mux
+// stamps the route pattern onto, and outside withLimit so capacity
+// refusals are counted too.
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("GET /v1/catalogs", s.handleList)
@@ -109,19 +155,76 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("PUT /v1/catalogs/{name}/snapshot", s.handlePutSnapshot)
 	api.HandleFunc("POST /v1/catalogs/{name}/match", s.handleMatch)
 	api.HandleFunc("POST /v1/catalogs/{name}/match-batch", s.handleMatchBatch)
+	api.HandleFunc("POST /v1/match-any", s.handleMatchAny)
 
+	mw := s.withMetrics()
 	root := http.NewServeMux()
-	root.HandleFunc("GET /healthz", s.handleHealth)
+	root.Handle("GET /healthz", mw(http.HandlerFunc(s.handleHealth)))
+	root.Handle("GET /metrics", mw(http.HandlerFunc(s.handleMetrics)))
 	root.Handle("/v1/", chain(api,
 		withMaxBytes(s.cfg.MaxBodyBytes),
 		withTimeout(s.cfg.RequestTimeout),
+		mw,
 		withLimit(s.sem),
 	))
 	return chain(root, withRecover(s.log), withLogging(s.log))
 }
 
+// buildInfo reads the binary's module version and VCS revision once.
+var buildInfo = sync.OnceValues(func() (version, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	version = bi.Main.Version
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return version, revision
+})
+
+// handleHealth is the readiness probe: 503 "loading" while a warm
+// restart is replaying the snapshot directory, otherwise 200 with the
+// catalog count, how many catalogs were restored from snapshots, and
+// the binary's build identity.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Catalogs: s.reg.Len()})
+	version, revision := buildInfo()
+	resp := healthResponse{
+		Status:   "ok",
+		Catalogs: s.reg.Len(),
+		Restored: s.restored.Load(),
+		Version:  version,
+		Revision: revision,
+	}
+	if s.loading.Load() {
+		resp.Status = "loading"
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// admit runs token-bucket admission for key; on refusal it writes the
+// 429 (with Retry-After rounded up to whole seconds) and reports false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, key string) bool {
+	ok, retryAfter := s.limiter.allow(key)
+	if ok {
+		return true
+	}
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	s.metrics.rateLimited.With(route).Inc()
+	writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry later")
+	return false
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -257,6 +360,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
 		return
 	}
+	if !s.admit(w, r, name) {
+		return
+	}
 	source, err := readSchema(r, "source", sourceDoc)
 	if err != nil {
 		s.writeMappedError(w, err, http.StatusBadRequest)
@@ -267,7 +373,64 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.writeMappedError(w, err, http.StatusInternalServerError)
 		return
 	}
+	s.metrics.catalogMatches.With(name).Inc()
 	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleMatchAny answers "which catalog matches this source?" across
+// the whole registry: top-k retrieval over every installed catalog's
+// candidate index, exact prepared matches on the survivors, catalogs
+// ranked best-first. Admission draws from a fleet-wide bucket — one
+// request touches many catalogs.
+func (s *Server) handleMatchAny(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, fleetKey) {
+		return
+	}
+	req, err := readMatchAnyRequest(r)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	source, err := req.Source.Build("source")
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	rep, err := s.fleet.MatchAny(r.Context(), source, repository.Query{
+		K:          req.K,
+		MinScore:   req.MinScore,
+		Exhaustive: req.Exhaustive,
+	})
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.metrics.matchAnyConsidered.Add(int64(rep.Considered))
+	s.metrics.matchAnyPruned.Add(int64(rep.Pruned))
+	s.metrics.matchAnyMatched.Add(int64(rep.Matched))
+	resp := MatchAnyResponse{
+		Catalogs:   make([]MatchAnyCatalog, 0, len(rep.Ranked)),
+		Retrieval:  rep.Retrieval,
+		Considered: rep.Considered,
+		Pruned:     rep.Pruned,
+		Matched:    rep.Matched,
+	}
+	for _, cm := range rep.Ranked {
+		mc := MatchAnyCatalog{
+			Name:       cm.Name,
+			Generation: cm.Generation,
+			Evidence:   cm.Evidence,
+			Score:      cm.Score,
+			Result:     cm.Result,
+		}
+		if cm.Err != nil {
+			mc.Error = cm.Err.Error()
+		} else {
+			s.metrics.catalogMatches.With(cm.Name).Inc()
+		}
+		resp.Catalogs = append(resp.Catalogs, mc)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +438,9 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	target, ok := s.reg.Get(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
+		return
+	}
+	if !s.admit(w, r, name) {
 		return
 	}
 	body, err := io.ReadAll(r.Body)
@@ -347,6 +513,15 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	// Order per-source errors by index so responses are deterministic
 	// regardless of which worker goroutine failed first.
 	slices.SortFunc(resp.Errors, func(a, b BatchError) int { return cmp.Compare(a.Index, b.Index) })
+	var matched int64
+	for _, raw := range resp.Results {
+		if raw != nil {
+			matched++
+		}
+	}
+	if matched > 0 {
+		s.metrics.catalogMatches.With(name).Add(matched)
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -383,6 +558,7 @@ func (s *Server) writeMappedError(w http.ResponseWriter, err error, fallback int
 	case errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ctxmatch.ErrEmptySchema),
+		errors.Is(err, ctxmatch.ErrInvalidOption),
 		errors.Is(err, ctxmatch.ErrSnapshotFormat),
 		errors.Is(err, ctxmatch.ErrSnapshotVersion),
 		errors.Is(err, ctxmatch.ErrSnapshotChecksum),

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket admission controller: capacity
+// burst, refilled at rate tokens per second, one token per admitted
+// request. The zero time base makes the very first take succeed.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// take attempts to consume one token at now. On refusal it reports how
+// long until a token will be available — the Retry-After figure.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	} else {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// limiterSet is a family of token buckets keyed by catalog name (plus
+// one fleet-wide key for match-any), created on first use. Admission
+// runs only after the catalog name has been resolved against the
+// registry, so key cardinality is bounded by the registry cap plus the
+// fixed fleet key; idle buckets are pruned opportunistically anyway.
+type limiterSet struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// fleetKey is the limiterSet key of the fleet-wide match-any bucket —
+// a NUL prefix keeps it disjoint from every HTTP-reachable catalog
+// name.
+const fleetKey = "\x00fleet"
+
+// newLimiterSet builds a set admitting rate requests/second with the
+// given burst per key; nil (disabled) when rate ≤ 0.
+func newLimiterSet(rate float64, burst int) *limiterSet {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = int(math.Max(1, math.Ceil(2*rate)))
+	}
+	return &limiterSet{rate: rate, burst: float64(burst), buckets: map[string]*tokenBucket{}}
+}
+
+// allow admits or refuses one request for key. A nil set admits
+// everything.
+func (l *limiterSet) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= 128 {
+			l.pruneLocked(now)
+		}
+		b = &tokenBucket{rate: l.rate, burst: l.burst}
+		l.buckets[key] = b
+	}
+	return b.take(now)
+}
+
+// pruneLocked drops buckets idle long enough to have refilled — they
+// are indistinguishable from fresh ones.
+func (l *limiterSet) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -25,6 +25,14 @@ type Registry struct {
 	matcher *ctxmatch.Matcher
 	cap     int
 
+	// obs are notified of every install and removal, inside the
+	// registry lock, so an observer's view is linearized with the
+	// registry's own: it sees exactly the sequence of mutations, in
+	// order, with no window where the two disagree. Registered before
+	// traffic via Observe; callbacks must not call back into the
+	// registry.
+	obs []Observer
+
 	mu      sync.Mutex
 	entries map[string]*catalogEntry
 	order   []string // LRU order, least recently used first
@@ -32,6 +40,24 @@ type Registry struct {
 	// lifetime, surviving eviction and deletion, so a re-uploaded
 	// catalog's Generation never goes backwards.
 	gens map[string]int
+}
+
+// Observer is notified of registry mutations: every publish of a
+// prepared handle under a name (prepare, re-prepare, snapshot install)
+// and every removal (LRU eviction, explicit delete). Callbacks run
+// under the registry lock — they must be fast and must not re-enter the
+// registry. The fleet retrieval index is the canonical observer.
+type Observer interface {
+	Installed(name string, generation int, t *ctxmatch.Target)
+	Removed(name string)
+}
+
+// Observe registers o for mutation callbacks. Call before traffic
+// starts; observers cannot be removed.
+func (r *Registry) Observe(o Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = append(r.obs, o)
 }
 
 type catalogEntry struct {
@@ -98,9 +124,13 @@ func (r *Registry) Install(name string, t *ctxmatch.Target) (info CatalogInfo, e
 		IndexHitRate:         st.IndexHitRate,
 		SnapshotBytes:        st.SnapshotBytes,
 		RestoredFromSnapshot: st.RestoredFromSnapshot,
+		Matches:              st.Matches,
 	}
 	r.entries[name] = &catalogEntry{target: t, info: info, dirty: true}
 	r.touchLocked(name)
+	for _, o := range r.obs {
+		o.Installed(name, gen, t)
+	}
 	var forget []*ctxmatch.Schema
 	for len(r.entries) > r.cap {
 		victim := r.order[0]
@@ -108,6 +138,9 @@ func (r *Registry) Install(name string, t *ctxmatch.Target) (info CatalogInfo, e
 		forget = append(forget, r.entries[victim].target.Schema())
 		delete(r.entries, victim)
 		evicted = append(evicted, victim)
+		for _, o := range r.obs {
+			o.Removed(victim)
+		}
 	}
 	r.mu.Unlock()
 
@@ -172,6 +205,9 @@ func (r *Registry) Delete(name string) bool {
 	if ok {
 		delete(r.entries, name)
 		r.removeLocked(name)
+		for _, o := range r.obs {
+			o.Removed(name)
+		}
 	}
 	r.mu.Unlock()
 	if ok {
@@ -181,9 +217,9 @@ func (r *Registry) Delete(name string) bool {
 }
 
 // List returns the prepared catalogs' info, most recently used first,
-// without touching recency. The index hit rate is refreshed from the
-// live handle on every listing; the other fields were fixed at prepare
-// time.
+// without touching recency. The index hit rate and match count are
+// refreshed from the live handle on every listing; the other fields
+// were fixed at prepare time.
 func (r *Registry) List() []CatalogInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -191,7 +227,9 @@ func (r *Registry) List() []CatalogInfo {
 	for i := len(r.order) - 1; i >= 0; i-- {
 		e := r.entries[r.order[i]]
 		info := e.info
-		info.IndexHitRate = e.target.Stats().IndexHitRate
+		st := e.target.Stats()
+		info.IndexHitRate = st.IndexHitRate
+		info.Matches = st.Matches
 		out = append(out, info)
 	}
 	return out

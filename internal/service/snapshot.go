@@ -53,6 +53,7 @@ func (s *Server) persistRaw(name string, data []byte) error {
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("writing %q: %w", path, werr)
 	}
+	s.metrics.snapshotPersists.Inc()
 	return nil
 }
 
@@ -86,17 +87,20 @@ func (s *Server) RestoreSnapshots() (int, error) {
 		name, err := url.PathUnescape(strings.TrimSuffix(filepath.Base(path), ".snap"))
 		if err != nil {
 			s.log.Warn("skipping snapshot with undecodable name", "path", path, "err", err)
+			s.metrics.snapshotRestoreFailure.Inc()
 			continue
 		}
 		f, err := os.Open(path)
 		if err != nil {
 			s.log.Warn("skipping unreadable snapshot", "path", path, "err", err)
+			s.metrics.snapshotRestoreFailure.Inc()
 			continue
 		}
 		target, err := ctxmatch.LoadTarget(f)
 		f.Close()
 		if err != nil {
 			s.log.Warn("skipping corrupt snapshot", "path", path, "err", err)
+			s.metrics.snapshotRestoreFailure.Inc()
 			continue
 		}
 		info, _, _ := s.reg.Install(name, target)
@@ -105,6 +109,8 @@ func (s *Server) RestoreSnapshots() (int, error) {
 		s.log.Info("catalog restored from snapshot", "name", name,
 			"bytes", info.SnapshotBytes, "tables", info.Tables, "rows", info.Rows)
 		restored++
+		s.restored.Add(1)
+		s.metrics.snapshotRestores.Inc()
 	}
 	return restored, nil
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"ctxmatch"
+	"ctxmatch/internal/repository"
 )
 
 // TableDoc is one table of an uploaded schema: the sample instance as
@@ -141,11 +142,97 @@ type CatalogInfo struct {
 	// rather than prepared from an uploaded sample; PreparedNS then
 	// measures the load, not a preparation.
 	RestoredFromSnapshot bool `json:"restored_from_snapshot,omitempty"`
+	// Matches counts this generation's successful prepared matches —
+	// the per-catalog traffic figure, refreshed from the live handle on
+	// every listing.
+	Matches int64 `json:"matches"`
 }
 
 // matchRequest is the JSON body of POST /v1/catalogs/{name}/match.
 type matchRequest struct {
 	Source SchemaDoc `json:"source"`
+}
+
+// MatchAnyRequest is the JSON body of POST /v1/match-any: a source
+// schema plus the retrieval knobs.
+type MatchAnyRequest struct {
+	// Source is the schema to match against every installed catalog.
+	Source SchemaDoc `json:"source"`
+	// K is how many top-scoring catalogs receive the exact prepared
+	// match; 0 means the server default (3).
+	K int `json:"k,omitempty"`
+	// MinScore is the per-column evidence floor in [0, 1): source
+	// columns whose best cosine against a catalog falls below it
+	// contribute no evidence. Raising it prunes more aggressively.
+	MinScore float64 `json:"min_score,omitempty"`
+	// Exhaustive skips retrieval and matches every catalog — the A/B
+	// baseline.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+}
+
+// MatchAnyCatalog is one ranked catalog of a match-any response.
+type MatchAnyCatalog struct {
+	// Name and Generation identify the catalog entry that was matched.
+	Name       string `json:"name"`
+	Generation int    `json:"generation"`
+	// Evidence is the catalog's retrieval score (0 in exhaustive mode
+	// and for catalogs without a candidate index).
+	Evidence float64 `json:"evidence"`
+	// Score ranks the catalog: the sum of the confidences of its
+	// result's selected matches.
+	Score float64 `json:"score"`
+	// Result is the catalog's full match result — the same versioned
+	// wire envelope POST …/match returns — or null when the match
+	// failed.
+	Result *ctxmatch.Result `json:"result,omitempty"`
+	// Error is this catalog's isolated failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// MatchAnyResponse is the body of POST /v1/match-any: the exact-matched
+// catalogs ranked best-first, the per-catalog retrieval scores, and the
+// fleet-level counts.
+type MatchAnyResponse struct {
+	Catalogs []MatchAnyCatalog `json:"catalogs"`
+	// Retrieval lists every considered catalog's evidence (survivors
+	// first in rank order, pruned catalogs last); absent in exhaustive
+	// mode.
+	Retrieval []repository.CatalogScore `json:"retrieval,omitempty"`
+	// Considered, Pruned and Matched count the installed catalogs, the
+	// ones the top-k floor cut off, and the ones exact-matched.
+	Considered int `json:"considered"`
+	Pruned     int `json:"pruned"`
+	Matched    int `json:"matched"`
+}
+
+// readMatchAnyRequest decodes a match-any body: application/json is
+// the MatchAnyRequest envelope; anything CSV-shaped becomes a
+// single-table source with default knobs, mirroring the match
+// endpoint's CSV convenience.
+func readMatchAnyRequest(r *http.Request) (MatchAnyRequest, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return MatchAnyRequest{}, err
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			ct = mt
+		}
+	}
+	if ct == "application/json" {
+		var req MatchAnyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return MatchAnyRequest{}, fmt.Errorf("decoding match-any request: %w", err)
+		}
+		if len(req.Source.Tables) == 0 {
+			return MatchAnyRequest{}, fmt.Errorf("match-any request has no source tables")
+		}
+		return req, nil
+	}
+	return MatchAnyRequest{
+		Source: SchemaDoc{Tables: []TableDoc{{Name: "source", CSV: string(body)}}},
+	}, nil
 }
 
 // batchRequest is the JSON body of POST /v1/catalogs/{name}/match-batch.
@@ -183,10 +270,16 @@ type listResponse struct {
 	Catalogs []CatalogInfo `json:"catalogs"`
 }
 
-// healthResponse is the body of GET /healthz.
+// healthResponse is the body of GET /healthz: readiness ("ok", or
+// "loading" with status 503 while a warm restart replays the snapshot
+// directory), registry occupancy, how many catalogs were restored from
+// persisted snapshots, and the binary's build identity.
 type healthResponse struct {
 	Status   string `json:"status"`
 	Catalogs int    `json:"catalogs"`
+	Restored int64  `json:"restored"`
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
 }
 
 // readSchema decodes a request body into a schema. application/json

@@ -253,3 +253,35 @@ func BenchmarkIndexScoreColumns(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkScoreColumnsFloored contrasts the WAND-pruned floored
+// scorer against the unfloored full scorer — the fleet retrieval
+// path's primitive. The floored variant pays a per-call bound sort and
+// exact merge walks for the surviving candidates, so on a single small
+// index the unfloored accumulate wins; its value is the pruning
+// *proof* (a zero plus a sub-floor bound lets retrieval skip an entire
+// catalog's exact match), and this benchmark records the price of that
+// proof at increasing floors so the crossover stays measured rather
+// than assumed.
+func BenchmarkScoreColumnsFloored(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d, cols := randomColumns(rng, 512, 300)
+	ix := BuildIndex(cols, d.Len())
+	d.Freeze()
+	src := sourceVector(rng, d, false)
+	row := make([]float64, len(cols))
+	b.Run("unfloored", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.ScoreColumns(src, row)
+		}
+	})
+	for _, floor := range []float64{0.1, 0.3, 0.6} {
+		b.Run(fmt.Sprintf("floor=%.1f", floor), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.ScoreColumnsFloored(src, row, floor)
+			}
+		})
+	}
+}

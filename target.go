@@ -74,6 +74,10 @@ type TargetStats struct {
 	// LoadTarget rather than built by Prepare; PreparedIn then measures
 	// the load, not a preparation.
 	RestoredFromSnapshot bool
+	// Matches counts the successful matches served through this handle
+	// (and every WithParallelism copy of it) since it was prepared or
+	// restored — the per-catalog traffic figure a serving layer exports.
+	Matches int64
 }
 
 // Stats reports the preparation cost and pinned-artifact sizes of the
@@ -95,6 +99,7 @@ func (t *Target) Stats() TargetStats {
 
 		SnapshotBytes:        ps.SnapshotBytes,
 		RestoredFromSnapshot: ps.RestoredFromSnapshot,
+		Matches:              ps.Matches,
 	}
 }
 
@@ -115,6 +120,20 @@ func (m *Matcher) Prepare(ctx context.Context, target *Schema) (*Target, error) 
 
 // Schema returns the catalog the handle was prepared for.
 func (t *Target) Schema() *Schema { return t.schema }
+
+// WithParallelism returns a copy of the handle whose matches fan
+// per-table work across n workers, sharing the same pinned artifacts
+// (and the same Stats counters). Results are bit-identical at any n;
+// the copy is cheap — no artifact is rebuilt.
+func (t *Target) WithParallelism(n int) *Target {
+	return &Target{m: t.m, prep: t.prep.WithParallelism(n), schema: t.schema, prepTime: t.prepTime}
+}
+
+// Prepared exposes the handle's underlying prepared-target artifacts to
+// the cross-catalog retrieval subsystem (internal/repository). It is a
+// plumbing accessor, not part of the stable public surface: the
+// returned type lives in an internal package.
+func (t *Target) Prepared() *core.PreparedTarget { return t.prep }
 
 // Match runs contextual schema matching of one source schema against
 // the prepared catalog. Semantics are Matcher.Match's — cancellation,
