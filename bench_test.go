@@ -482,3 +482,58 @@ func BenchmarkAblationDisjunctPolicy(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkUpdate10k measures incremental prepare on the same
+// enterprise-scale fixture: a single-table delta applied through
+// Target.Update ("update") against preparing the updated catalog from
+// scratch ("reprepare"). The update/reprepare ratio is the number the
+// BENCH_*-update.json trajectory and its CI gate pin at ≥5x.
+func BenchmarkUpdate10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-catalog fixture skipped in -short mode (CI runs the benchjson update gate instead)")
+	}
+	ds := datagen.Inventory(datagen.InventoryConfig{
+		Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1,
+		Scale: 10, ExtraAttrs: 4, NoDistractors: true,
+	})
+	matcher, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepared, err := matcher.Prepare(context.Background(), ds.Target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	first := ds.Target.Tables[0]
+	delta := ctxmatch.CatalogDelta{Replace: []*ctxmatch.Table{{
+		Name: first.Name, Attrs: first.Attrs, Rows: first.Rows[:len(first.Rows)-1],
+	}}}
+	updated, err := prepared.Update(context.Background(), delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("update", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prepared.Update(context.Background(), delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reprepare", func(b *testing.B) {
+		schema := updated.Schema()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh matcher per iteration keeps the artifact cache
+			// cold, so every iteration pays the full from-scratch bill.
+			m, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Prepare(context.Background(), schema); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -16,13 +16,14 @@
 //
 // re-measures on the baseline file's own fixture (so the numbers are
 // apples-to-apples regardless of -quick) and exits non-zero when
-// prepared_ns_op, prepare_ns, snapshot_load_ns, matchany_ns,
+// prepared_ns_op, prepare_ns, snapshot_load_ns, matchany_ns, update_ns,
 // prepared_allocs_op or cold_allocs_op regresses more than -tolerance
 // (default 25%) over the committed baseline (wall-clock metrics use
 // the wider -time-tolerance), or when matchany_pruned_frac — the
-// fraction of fleet catalogs retrieval prunes — collapses below the
-// baseline. Improvements and within-tolerance noise pass. No BENCH
-// file is written in this mode.
+// fraction of fleet catalogs retrieval prunes — or
+// update_vs_prepare_speedup — the factor by which a single-table delta
+// beats re-preparing — collapses below the baseline. Improvements and
+// within-tolerance noise pass. No BENCH file is written in this mode.
 //
 // -cpuprofile and -memprofile write pprof profiles of the prepared-path
 // benchmark loop, so perf PRs can attach evidence:
@@ -93,6 +94,16 @@ type report struct {
 	MatchAnyExhaustNs  int64   `json:"matchany_exhaustive_ns,omitempty"`
 	MatchAnyPrunedFrac float64 `json:"matchany_pruned_frac,omitempty"`
 	MatchAnyCatalogs   int     `json:"matchany_catalogs,omitempty"`
+	// UpdateNs times Target.Update applying a single-table delta to the
+	// prepared enterprise-scale catalog — the incremental-prepare path —
+	// and UpdatePrepareNs a from-scratch Prepare of the same updated
+	// catalog. UpdateVsPrepareSpeedup is their ratio, the figure the
+	// delta path exists to buy; the compare gate fails when it collapses
+	// below the baseline. Zero in baselines recorded before incremental
+	// prepare existed, which the compare gate skips.
+	UpdateNs               int64   `json:"update_ns,omitempty"`
+	UpdatePrepareNs        int64   `json:"update_prepare_ns,omitempty"`
+	UpdateVsPrepareSpeedup float64 `json:"update_vs_prepare_speedup,omitempty"`
 }
 
 type fixture struct {
@@ -208,6 +219,11 @@ func main() {
 	// apples-to-apples.
 	anyNs, anyExhNs, prunedFrac, fleetN := benchMatchAny(fx.TargetRows >= 500)
 
+	// Incremental prepare: a single-table delta through Target.Update
+	// versus re-preparing the updated catalog from scratch, sized to the
+	// fixture's weight class like the fleet above.
+	updNs, updPrepNs, updSpeedup := benchUpdate(fx.TargetRows >= 500)
+
 	if baseline != nil {
 		if *timeTolerance == 0 {
 			*timeTolerance = *tolerance
@@ -218,6 +234,8 @@ func main() {
 			snapshotLoadNs: snapLoad.NsPerOp(),
 			matchAnyNs:     anyNs,
 			prunedFrac:     prunedFrac,
+			updateNs:       updNs,
+			updateSpeedup:  updSpeedup,
 			preparedAllocs: prep.AllocsPerOp(),
 			coldAllocs:     cold.AllocsPerOp(),
 		}, *timeTolerance, *tolerance))
@@ -286,6 +304,10 @@ func main() {
 		MatchAnyExhaustNs:  anyExhNs,
 		MatchAnyPrunedFrac: prunedFrac,
 		MatchAnyCatalogs:   fleetN,
+
+		UpdateNs:               updNs,
+		UpdatePrepareNs:        updPrepNs,
+		UpdateVsPrepareSpeedup: updSpeedup,
 	}
 
 	name := r.Date
@@ -353,6 +375,47 @@ func benchMatchAny(full bool) (retrievalNs, exhaustiveNs int64, prunedFrac float
 	return retrievalNs, exhaustiveNs, frac, len(specs)
 }
 
+// benchUpdate prepares a catalog, applies a single-table delta (one
+// table replaced with a row-changed copy) through Target.Update, and
+// times that against a from-scratch Prepare of the updated catalog with
+// a cold artifact cache. full selects the 10k-row enterprise fixture —
+// the scale where re-preparing on every table change stops being an
+// option; quick runs get a 4-pair miniature.
+func benchUpdate(full bool) (updateNs, prepareNs int64, speedup float64) {
+	cfg := datagen.InventoryConfig{Rows: 80, TargetRows: 40, Gamma: 4, Target: datagen.Ryan, Seed: 1, Scale: 4}
+	if full {
+		cfg = datagen.InventoryConfig{Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1, Scale: 10, ExtraAttrs: 4, NoDistractors: true}
+	}
+	ds := datagen.Inventory(cfg)
+	m, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+	exitOn(err)
+	prepared, err := m.Prepare(context.Background(), ds.Target)
+	exitOn(err)
+	first := ds.Target.Tables[0]
+	delta := ctxmatch.CatalogDelta{Replace: []*ctxmatch.Table{{
+		Name: first.Name, Attrs: first.Attrs, Rows: first.Rows[:len(first.Rows)-1],
+	}}}
+	updated, err := prepared.Update(context.Background(), delta)
+	exitOn(err)
+	upd := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := prepared.Update(context.Background(), delta)
+			exitOn(err)
+		}
+	})
+	schema := updated.Schema()
+	reprep := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mi, err := ctxmatch.New(ctxmatch.WithParallelism(1))
+			exitOn(err)
+			_, err = mi.Prepare(context.Background(), schema)
+			exitOn(err)
+		}
+	})
+	return upd.NsPerOp(), reprep.NsPerOp(),
+		float64(reprep.NsPerOp()) / float64(max64(upd.NsPerOp(), 1))
+}
+
 // measured carries the re-measured values of every gated metric into
 // compare.
 type measured struct {
@@ -361,22 +424,26 @@ type measured struct {
 	snapshotLoadNs int64
 	matchAnyNs     int64
 	prunedFrac     float64
+	updateNs       int64
+	updateSpeedup  float64
 	preparedAllocs int64
 	coldAllocs     int64
 }
 
 // compare gates the regression-prone headline metrics against the
-// baseline: prepared_ns_op, prepare_ns, snapshot_load_ns and
-// matchany_ns (the steady-state serving cost, the catalog onboarding
-// cost, the warm-restart cost and the fleet retrieval cost, gated with
-// timeTol because wall clock shifts with hardware), plus
-// prepared_allocs_op and cold_allocs_op (allocation discipline of the
-// hot path and the full pipeline, hardware-independent and gated with
-// the strict allocTol), plus matchany_pruned_frac gated downward — a
-// collapse in the fraction of catalogs retrieval prunes is a
-// regression of the subsystem's whole point even if wall clock hides
-// it on a fast machine. Returns the process exit code: 0 within
-// tolerance, 1 regressed.
+// baseline: prepared_ns_op, prepare_ns, snapshot_load_ns, matchany_ns
+// and update_ns (the steady-state serving cost, the catalog onboarding
+// cost, the warm-restart cost, the fleet retrieval cost and the
+// incremental-update cost, gated with timeTol because wall clock
+// shifts with hardware), plus prepared_allocs_op and cold_allocs_op
+// (allocation discipline of the hot path and the full pipeline,
+// hardware-independent and gated with the strict allocTol), plus
+// matchany_pruned_frac and update_vs_prepare_speedup gated downward —
+// a collapse in the fraction of catalogs retrieval prunes, or in the
+// factor by which a delta beats re-preparing, is a regression of the
+// respective subsystem's whole point even if wall clock hides it on a
+// fast machine. Returns the process exit code: 0 within tolerance, 1
+// regressed.
 func compare(baseline *report, now measured, timeTol, allocTol float64) int {
 	fmt.Printf("comparing against baseline %s (%s, %s/%s, fixture %d/%d rows)\n",
 		baseline.Date, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,
@@ -399,19 +466,26 @@ func compare(baseline *report, now measured, timeTol, allocTol float64) int {
 	check("prepare_ns", baseline.PrepareNs, now.prepareNs, timeTol)
 	check("snapshot_load_ns", baseline.SnapshotLoadNs, now.snapshotLoadNs, timeTol)
 	check("matchany_ns", baseline.MatchAnyNs, now.matchAnyNs, timeTol)
+	check("update_ns", baseline.UpdateNs, now.updateNs, timeTol)
 	check("prepared_allocs_op", baseline.PrepAllocs, now.preparedAllocs, allocTol)
 	check("cold_allocs_op", baseline.ColdAllocs, now.coldAllocs, allocTol)
-	// Pruned fraction gates in the other direction: lower is worse.
-	if base := baseline.MatchAnyPrunedFrac; base > 0 {
+	// Ratio metrics gate in the other direction: lower is worse. Both
+	// are same-machine ratios, so they gate with the strict tolerance
+	// even across hardware.
+	checkDown := func(metric string, base, now float64) {
+		if base <= 0 {
+			fmt.Printf("  %-18s baseline %.3f — skipped\n", metric, base)
+			return
+		}
 		verdict := "ok"
-		if now.prunedFrac < base*(1-allocTol) {
+		if now < base*(1-allocTol) {
 			verdict = fmt.Sprintf("REGRESSED beyond %.0f%%", allocTol*100)
 			failed = true
 		}
-		fmt.Printf("  %-18s %12.3f -> %12.3f  %s\n", "matchany_pruned_frac", base, now.prunedFrac, verdict)
-	} else {
-		fmt.Printf("  %-18s baseline %.3f — skipped\n", "matchany_pruned_frac", baseline.MatchAnyPrunedFrac)
+		fmt.Printf("  %-18s %12.3f -> %12.3f  %s\n", metric, base, now, verdict)
 	}
+	checkDown("matchany_pruned_frac", baseline.MatchAnyPrunedFrac, now.prunedFrac)
+	checkDown("update_vs_prepare_speedup", baseline.UpdateVsPrepareSpeedup, now.updateSpeedup)
 	if failed {
 		fmt.Println("bench regression gate: FAIL")
 		return 1

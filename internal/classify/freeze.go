@@ -80,14 +80,26 @@ func (nb *NaiveBayes) Freeze(dict *tokenize.Dict) *FrozenNaiveBayes {
 	f.tableGrams = dict.Len()
 	f.lik = make([]float64, f.tableGrams*L)
 	vocab := float64(len(nb.vocab)) + 1
+	totals := make([]float64, L)
 	for li, label := range f.labels {
 		// Precisely the terms NaiveBayes.Classify computes per label.
 		f.logPrior[li] = math.Log(nb.labelCounts[label] / nb.examples)
-		total := nb.gramTotals[label] + vocab
-		f.oov[li] = math.Log(1 / total)
-		lg := nb.grams[label]
-		for gid := 0; gid < f.tableGrams; gid++ {
-			f.lik[gid*L+li] = math.Log((lg[f.dict.Gram(uint32(gid))] + 1) / total)
+		totals[li] = nb.gramTotals[label] + vocab
+		f.oov[li] = math.Log(1 / totals[li])
+	}
+	// A gram a label never saw scores log((0+1)/total) — bit-for-bit the
+	// label's OOV term — so the table is sparse in disguise: default-fill
+	// every row with oov, then overwrite only the (gram, label) pairs the
+	// label counted. This pays Σ|per-label vocab| Log calls instead of
+	// tableGrams·L, which is what keeps freezing off the catalog-update
+	// critical path.
+	for gid := 0; gid < f.tableGrams; gid++ {
+		copy(f.lik[gid*L:(gid+1)*L], f.oov)
+	}
+	for li, label := range f.labels {
+		total := totals[li]
+		for gram, c := range nb.grams[label] {
+			f.lik[int(dict.Intern(gram))*L+li] = math.Log((c + 1) / total)
 		}
 	}
 	f.scratch.New = func() any {

@@ -1,0 +1,49 @@
+package classify
+
+import "maps"
+
+// MergeNaiveBayes combines independently trained Naive Bayes partials
+// into one classifier equal, bit for bit, to training a single
+// classifier over the same examples in parts order. All accumulated
+// state is integer-valued counts stored in float64, so the merge's
+// additions are exact: summing per-part totals reproduces the one-pass
+// sums regardless of grouping. Nil parts are skipped; nil is returned
+// when every part is nil (no compatible attribute anywhere).
+//
+// When a label appears in exactly one part — the target-classifier case,
+// where labels are table-qualified — the merged classifier shares that
+// part's per-label gram maps; parts must therefore not be trained
+// further after merging. Labels spanning parts are cloned and summed.
+func MergeNaiveBayes(parts ...*NaiveBayes) *NaiveBayes {
+	var out *NaiveBayes
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = NewNaiveBayes()
+		}
+		for label, lg := range p.grams {
+			if exist, ok := out.grams[label]; ok {
+				merged := maps.Clone(exist)
+				for gram, n := range lg {
+					merged[gram] += n
+				}
+				out.grams[label] = merged
+			} else {
+				out.grams[label] = lg
+			}
+		}
+		for label, n := range p.gramTotals {
+			out.gramTotals[label] += n
+		}
+		for label, n := range p.labelCounts {
+			out.labelCounts[label] += n
+		}
+		for gram := range p.vocab {
+			out.vocab[gram] = struct{}{}
+		}
+		out.examples += p.examples
+	}
+	return out
+}

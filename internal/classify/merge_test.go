@@ -1,0 +1,65 @@
+package classify
+
+import (
+	"reflect"
+	"testing"
+
+	"ctxmatch/internal/relational"
+	"ctxmatch/internal/tokenize"
+)
+
+// TestMergeNaiveBayesEqualsOnePass: merging per-group partials must
+// reproduce the classifier a single pass over the same examples trains
+// — identical internal state, and an identical frozen table.
+func TestMergeNaiveBayesEqualsOnePass(t *testing.T) {
+	groups := [][]struct{ text, label string }{
+		{{"heart of darkness", "book.title"}, {"leaves of grass", "book.title"}, {"0-486-61272-4", "book.isbn"}},
+		{{"abbey road", "music.album"}, {"hotel california", "music.album"}},
+		{{"moby dick", "book.title"}, {"the trial", "book.title"}}, // book.title spans parts
+	}
+	one := NewNaiveBayes()
+	parts := make([]*NaiveBayes, len(groups))
+	for i, g := range groups {
+		parts[i] = NewNaiveBayes()
+		for _, ex := range g {
+			one.Train(relational.S(ex.text), ex.label)
+			parts[i].Train(relational.S(ex.text), ex.label)
+		}
+	}
+	merged := MergeNaiveBayes(parts[0], nil, parts[1], parts[2])
+	if !reflect.DeepEqual(merged.grams, one.grams) ||
+		!reflect.DeepEqual(merged.gramTotals, one.gramTotals) ||
+		!reflect.DeepEqual(merged.labelCounts, one.labelCounts) ||
+		!reflect.DeepEqual(merged.vocab, one.vocab) ||
+		merged.examples != one.examples {
+		t.Error("merged state diverges from one-pass training")
+	}
+
+	// The frozen forms agree too: classify a held-out value through both.
+	dm, d1 := tokenize.NewDict(), tokenize.NewDict()
+	fm, f1 := merged.Freeze(dm), one.Freeze(d1)
+	for _, probe := range []string{"wasteland", "rumours", "0-123-45678-9", ""} {
+		gm, okm := fm.Classify(relational.S(probe))
+		g1, ok1 := f1.Classify(relational.S(probe))
+		if gm != g1 || okm != ok1 {
+			t.Errorf("Classify(%q): merged %q/%v, one-pass %q/%v", probe, gm, okm, g1, ok1)
+		}
+	}
+}
+
+// TestMergeNaiveBayesNil: all-nil input means no compatible attribute
+// anywhere — the merge reports that as nil rather than an empty
+// classifier.
+func TestMergeNaiveBayesNil(t *testing.T) {
+	if MergeNaiveBayes() != nil {
+		t.Error("empty merge produced a classifier")
+	}
+	if MergeNaiveBayes(nil, nil) != nil {
+		t.Error("all-nil merge produced a classifier")
+	}
+	nb := NewNaiveBayes()
+	nb.Train(relational.S("velvet stone"), "t.a")
+	if got := MergeNaiveBayes(nil, nb); got == nil || len(got.grams) != 1 {
+		t.Error("single-part merge lost the part")
+	}
+}

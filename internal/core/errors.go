@@ -13,6 +13,14 @@ import (
 // either way.
 var ErrEmptySchema = errors.New("schema has no tables")
 
+// ErrInvalidDelta is returned when a catalog delta is structurally
+// unusable: empty, naming a table to replace or drop that the catalog
+// does not hold, adding a table name it already holds, referencing one
+// name twice, or carrying a nil or unnamed table. The wrapping message
+// names the offending table; errors.Is(err, ErrInvalidDelta) holds
+// either way.
+var ErrInvalidDelta = errors.New("invalid catalog delta")
+
 // TableError wraps a failure confined to one source table of a matching
 // run, so callers of a multi-table Match can tell which table aborted
 // the run (typically by cancellation).

@@ -165,6 +165,14 @@ func (s *srcClassifier) Predict(_ int, v relational.Value) int {
 // pairs because target training is independent of the source.
 type targetClassifiers struct {
 	byDomain map[relational.Domain]classify.Classifier
+
+	// nbParts holds the per-table partial Naive Bayes classifiers the
+	// merged DomainString classifier was assembled from, keyed by table
+	// name (tables without a string attribute have no entry). A delta
+	// update reuses untouched tables' partials verbatim and retrains
+	// only the touched ones — the merge is exact (integer counts), so
+	// the reassembled classifier equals a from-scratch one bit for bit.
+	nbParts map[string]*classify.NaiveBayes
 }
 
 // targetClassifierTrainings counts newTargetClassifiers invocations
@@ -185,28 +193,115 @@ var classifierDomains = []relational.Domain{
 }
 
 // newTargetClassifiers runs createTargetClassifier(D, RT) for every
-// domain with at least one compatible target attribute. The per-domain
-// trainings are independent, so they fan across up to workers
-// goroutines; each domain still trains sequentially in schema order,
-// which keeps the accumulated classifier state (including the
-// order-sensitive Gaussian float sums) bit-identical at any worker
-// count.
+// domain with at least one compatible target attribute. The string
+// domain trains as one Naive Bayes partial per table, merged exactly in
+// schema order (labels are table-qualified, so per-label state never
+// crosses partials and the merge reproduces a one-pass training bit for
+// bit); the numeric domains train whole, sequentially in schema order,
+// because the Gaussian's global accumulator is order-sensitive. All
+// trainings are independent of each other, so they fan across up to
+// workers goroutines, and the assembled state is bit-identical at any
+// worker count.
 func newTargetClassifiers(tgt *relational.Schema, workers int) *targetClassifiers {
 	targetClassifierTrainings.Add(1)
-	tc := &targetClassifiers{byDomain: map[relational.Domain]classify.Classifier{}}
+	tc := &targetClassifiers{
+		byDomain: map[relational.Domain]classify.Classifier{},
+		nbParts:  map[string]*classify.NaiveBayes{},
+	}
 	if tgt == nil {
 		return tc
 	}
-	trained := make([]classify.Classifier, len(classifierDomains))
-	match.ForEachIndex(len(classifierDomains), workers, func(di int) {
-		trained[di] = trainDomainClassifier(tgt, classifierDomains[di])
+	nTables := len(tgt.Tables)
+	parts := make([]*classify.NaiveBayes, nTables)
+	var numeric [2]classify.Classifier // DomainNumber, DomainBool
+	match.ForEachIndex(nTables+len(numeric), workers, func(i int) {
+		if i < nTables {
+			parts[i] = trainTableNB(tgt.Tables[i])
+		} else {
+			numeric[i-nTables] = trainDomainClassifier(tgt, classifierDomains[i-nTables+1])
+		}
 	})
-	for di, domain := range classifierDomains {
-		if trained[di] != nil {
-			tc.byDomain[domain] = trained[di]
+	tc.assemble(tgt, parts, numeric)
+	return tc
+}
+
+// assemble publishes the fanned-out training results: string partials
+// recorded by table name and merged in schema order, numeric domain
+// classifiers stored when trained.
+func (tc *targetClassifiers) assemble(tgt *relational.Schema, parts []*classify.NaiveBayes, numeric [2]classify.Classifier) {
+	for i, t := range tgt.Tables {
+		if parts[i] != nil {
+			tc.nbParts[t.Name] = parts[i]
 		}
 	}
-	return tc
+	if nb := classify.MergeNaiveBayes(parts...); nb != nil {
+		tc.byDomain[relational.DomainString] = nb
+	}
+	for i, cls := range numeric {
+		if cls != nil {
+			tc.byDomain[classifierDomains[i+1]] = cls
+		}
+	}
+}
+
+// trainTableNB trains the string-domain Naive Bayes partial of one
+// table — every string attribute, in attribute order, labeled
+// "Table.attr" — or nil when the table has no string attribute.
+func trainTableNB(rt *relational.Table) *classify.NaiveBayes {
+	var nb *classify.NaiveBayes
+	for _, a := range rt.Attrs {
+		if !a.Type.Compatible(relational.DomainString) {
+			continue
+		}
+		if nb == nil {
+			nb = classify.NewNaiveBayes()
+		}
+		tag := rt.Name + "." + a.Name
+		i := rt.AttrIndex(a.Name)
+		for _, row := range rt.Rows {
+			if !row[i].IsNull() {
+				nb.Train(row[i], tag)
+			}
+		}
+	}
+	return nb
+}
+
+// update derives the classifier set of an updated schema from this one,
+// retraining only what the delta touches: string partials of touched
+// tables (untouched partials are reused and re-merged in updated-schema
+// order — exact), and numeric domains only when some touched table (old
+// or new side of the delta) has a compatible attribute, because the
+// Gaussian's order-sensitive accumulator spans every table. Unaffected
+// numeric classifiers are shared by reference; classifiers are
+// immutable after training, so sharing is safe.
+func (tc *targetClassifiers) update(updated *relational.Schema, touched func(*relational.Table) bool, affected func(relational.Domain) bool, workers int) *targetClassifiers {
+	targetClassifierTrainings.Add(1)
+	out := &targetClassifiers{
+		byDomain: map[relational.Domain]classify.Classifier{},
+		nbParts:  map[string]*classify.NaiveBayes{},
+	}
+	nTables := len(updated.Tables)
+	parts := make([]*classify.NaiveBayes, nTables)
+	var numeric [2]classify.Classifier
+	match.ForEachIndex(nTables+len(numeric), workers, func(i int) {
+		if i < nTables {
+			if t := updated.Tables[i]; touched(t) {
+				parts[i] = trainTableNB(t)
+			} else {
+				parts[i] = tc.nbParts[t.Name]
+			}
+		} else {
+			dom := classifierDomains[i-nTables+1]
+			if affected(dom) {
+				numeric[i-nTables] = trainDomainClassifier(updated, dom)
+			} else if cls, ok := tc.byDomain[dom]; ok {
+				numeric[i-nTables] = cls
+			}
+		}
+	})
+	out.assemble(updated, parts, numeric)
+	return out
 }
 
 // trainDomainClassifier trains the one-domain classifier C_D^T of

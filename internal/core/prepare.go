@@ -130,6 +130,24 @@ func (pt *PreparedTarget) Stats() PrepStats {
 	return s
 }
 
+// LiveStats are the traffic-dependent PrepStats fields, separated out
+// because both are O(1) reads: serving layers refresh them on every
+// listing or metrics scrape without paying Stats' dictionary walk.
+type LiveStats struct {
+	// IndexHitRate is PrepStats.IndexHitRate.
+	IndexHitRate float64
+	// Matches is PrepStats.Matches.
+	Matches int64
+}
+
+// LiveStats reports the handle's traffic figures cheaply.
+func (pt *PreparedTarget) LiveStats() LiveStats {
+	return LiveStats{
+		IndexHitRate: pt.arts.feats.IndexStats().HitRate(),
+		Matches:      pt.matches.Load(),
+	}
+}
+
 // Options returns the options the handle was prepared under.
 func (pt *PreparedTarget) Options() Options { return pt.opt }
 

@@ -35,6 +35,14 @@ type TargetFeatures struct {
 	numRanges map[colKey][2]float64
 	names     map[string]*tokenize.IDVector
 
+	// colOrder records, per string column, the shared-dictionary IDs of
+	// the column's distinct grams in first-appearance (column-local
+	// insertion) order — the MergeInto remap of the build. A delta
+	// rebuild replays this order to reassign untouched columns' grams
+	// into a fresh dictionary without rescanning any rows. Nil on layers
+	// restored from snapshots, which therefore cannot delta-update.
+	colOrder map[colKey][]uint32
+
 	// strCols lists the string-domain target columns in schema order —
 	// the dense column numbering of the candidate index — and colDense
 	// inverts it. index is the inverted gram-ID candidate index over
@@ -82,6 +90,7 @@ func (e *Engine) PrecomputeTargetParallel(tgt *relational.Schema, d *tokenize.Di
 		numbers:   map[colKey][]float64{},
 		numRanges: map[colKey][2]float64{},
 		names:     map[string]*tokenize.IDVector{},
+		colOrder:  map[colKey][]uint32{},
 	}
 	if tgt == nil {
 		return tf
@@ -123,7 +132,9 @@ func (e *Engine) PrecomputeTargetParallel(tgt *relational.Schema, d *tokenize.Di
 		key := colKey{j.t, j.attr}
 		switch j.domain {
 		case relational.DomainString:
-			tf.ngrams[key] = tokenize.Remapped(slots[i].vec, slots[i].local.MergeInto(d))
+			remap := slots[i].local.MergeInto(d)
+			tf.ngrams[key] = tokenize.Remapped(slots[i].vec, remap)
+			tf.colOrder[key] = remap
 			tf.strCols = append(tf.strCols, key)
 		case relational.DomainNumber:
 			tf.numbers[key] = slots[i].nums

@@ -150,6 +150,7 @@ func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("GET /v1/catalogs", s.handleList)
 	api.HandleFunc("PUT /v1/catalogs/{name}", s.handlePut)
+	api.HandleFunc("PATCH /v1/catalogs/{name}", s.handlePatch)
 	api.HandleFunc("DELETE /v1/catalogs/{name}", s.handleDelete)
 	api.HandleFunc("GET /v1/catalogs/{name}/snapshot", s.handleGetSnapshot)
 	api.HandleFunc("PUT /v1/catalogs/{name}/snapshot", s.handlePutSnapshot)
@@ -274,6 +275,61 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	s.writeJSON(w, status, info)
+}
+
+// handlePatch applies a catalog delta to name's current generation: an
+// incremental re-prepare that rescans only the touched tables and
+// retrains only the affected classifiers, then swaps the result in
+// atomically as a new generation (observers notified, entry marked
+// dirty and eagerly re-persisted when a snapshot directory is
+// configured). The response is the new generation's CatalogInfo — the
+// same body PUT returns — with PreparedNS measuring the delta rebuild.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	var doc CatalogDeltaDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding catalog delta: "+err.Error())
+		return
+	}
+	delta, err := doc.Build()
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	info, evicted, found, err := s.reg.Update(r.Context(), name, delta)
+	if !found {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no catalog %q", name))
+		return
+	}
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest)
+		return
+	}
+	s.metrics.catalogUpdates.With(name).Inc()
+	s.metrics.updateTablesTouched.Add(int64(len(delta.Add) + len(delta.Replace) + len(delta.Drop)))
+	for _, victim := range evicted {
+		s.log.Info("catalog evicted", "name", victim, "for", name)
+	}
+	s.log.Info("catalog updated", "name", name, "generation", info.Generation,
+		"updated_ms", time.Duration(info.PreparedNS).Milliseconds(),
+		"add", len(delta.Add), "replace", len(delta.Replace), "drop", len(delta.Drop))
+	// Like handlePut: persist the fresh generation eagerly; a failure
+	// only defers it to the drain-time flush (the entry stays dirty).
+	if s.cfg.SnapshotDir != "" {
+		if t, ok := s.reg.Get(name); ok {
+			if err := s.persistSnapshot(name, t); err != nil {
+				s.log.Warn("persisting snapshot", "name", name, "err", err)
+			} else {
+				s.reg.MarkClean(name, t)
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 // handleGetSnapshot serves the catalog's versioned binary snapshot —
@@ -558,6 +614,7 @@ func (s *Server) writeMappedError(w http.ResponseWriter, err error, fallback int
 	case errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ctxmatch.ErrEmptySchema),
+		errors.Is(err, ctxmatch.ErrInvalidDelta),
 		errors.Is(err, ctxmatch.ErrInvalidOption),
 		errors.Is(err, ctxmatch.ErrSnapshotFormat),
 		errors.Is(err, ctxmatch.ErrSnapshotVersion),

@@ -23,6 +23,9 @@ type serverMetrics struct {
 	catalogMatches *metrics.CounterVec // catalog
 	rateLimited    *metrics.CounterVec // route
 
+	catalogUpdates      *metrics.CounterVec // catalog
+	updateTablesTouched *metrics.Counter
+
 	matchAnyConsidered *metrics.Counter
 	matchAnyPruned     *metrics.Counter
 	matchAnyMatched    *metrics.Counter
@@ -46,6 +49,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Successful prepared matches served, by catalog.", "catalog"),
 		rateLimited: r.NewCounterVec("ctxmatchd_rate_limited_total",
 			"Requests refused by token-bucket admission control, by route pattern.", "route"),
+		catalogUpdates: r.NewCounterVec("ctxmatchd_catalog_updates_total",
+			"Incremental catalog delta updates applied (PATCH), by catalog.", "catalog"),
+		updateTablesTouched: r.NewCounter("ctxmatchd_catalog_update_tables_total",
+			"Tables added, replaced or dropped by catalog delta updates."),
 		matchAnyConsidered: r.NewCounter("ctxmatchd_matchany_catalogs_considered_total",
 			"Catalogs considered by match-any retrieval."),
 		matchAnyPruned: r.NewCounter("ctxmatchd_matchany_catalogs_pruned_total",

@@ -40,6 +40,12 @@ type Registry struct {
 	// lifetime, surviving eviction and deletion, so a re-uploaded
 	// catalog's Generation never goes backwards.
 	gens map[string]int
+	// updMu serializes Update calls per name (outside the registry
+	// lock), so two concurrent deltas compose — the second derives from
+	// the first's result — instead of both deriving from the same base
+	// and the last install silently dropping one. Entries are tiny and
+	// live for the registry's lifetime.
+	updMu map[string]*sync.Mutex
 }
 
 // Observer is notified of registry mutations: every publish of a
@@ -75,7 +81,44 @@ func NewRegistry(m *ctxmatch.Matcher, cap int) *Registry {
 	if cap < 1 {
 		cap = 1
 	}
-	return &Registry{matcher: m, cap: cap, entries: map[string]*catalogEntry{}, gens: map[string]int{}}
+	return &Registry{
+		matcher: m,
+		cap:     cap,
+		entries: map[string]*catalogEntry{},
+		gens:    map[string]int{},
+		updMu:   map[string]*sync.Mutex{},
+	}
+}
+
+// Update applies a catalog delta to name's current handle and installs
+// the result as a new generation with Install's atomic-swap semantics:
+// observers are notified, the entry is marked dirty for the drain-time
+// snapshot flush, and in-flight matches finish on the old handle. The
+// incremental rebuild runs outside the registry lock; updates to one
+// name are serialized against each other so concurrent deltas compose.
+// found is false when the name is not installed; err carries
+// ctxmatch.ErrInvalidDelta (and friends) from the delta application.
+func (r *Registry) Update(ctx context.Context, name string, delta ctxmatch.CatalogDelta) (info CatalogInfo, evicted []string, found bool, err error) {
+	r.mu.Lock()
+	mu := r.updMu[name]
+	if mu == nil {
+		mu = &sync.Mutex{}
+		r.updMu[name] = mu
+	}
+	r.mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+
+	t, ok := r.Get(name)
+	if !ok {
+		return CatalogInfo{}, nil, false, nil
+	}
+	nt, err := t.Update(ctx, delta)
+	if err != nil {
+		return CatalogInfo{}, nil, true, err
+	}
+	info, evicted, _ = r.Install(name, nt)
+	return info, evicted, true, nil
 }
 
 // Prepare prepares schema and installs it under name, replacing any
@@ -217,9 +260,11 @@ func (r *Registry) Delete(name string) bool {
 }
 
 // List returns the prepared catalogs' info, most recently used first,
-// without touching recency. The index hit rate and match count are
-// refreshed from the live handle on every listing; the other fields
-// were fixed at prepare time.
+// without touching recency. The static artifact sizes were memoized at
+// install time (once per generation); only the index hit rate and match
+// count are refreshed from the live handle, and both are O(1) atomic
+// reads — a metrics scrape or listing never walks a catalog's
+// dictionary or rows.
 func (r *Registry) List() []CatalogInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -227,9 +272,9 @@ func (r *Registry) List() []CatalogInfo {
 	for i := len(r.order) - 1; i >= 0; i-- {
 		e := r.entries[r.order[i]]
 		info := e.info
-		st := e.target.Stats()
-		info.IndexHitRate = st.IndexHitRate
-		info.Matches = st.Matches
+		ls := e.target.LiveStats()
+		info.IndexHitRate = ls.IndexHitRate
+		info.Matches = ls.Matches
 		out = append(out, info)
 	}
 	return out

@@ -101,6 +101,54 @@ func (d SchemaDoc) Build(fallback string) (*ctxmatch.Schema, error) {
 	return s, nil
 }
 
+// CatalogDeltaDoc is the JSON body of PATCH /v1/catalogs/{name}: a
+// catalog edit shipped as CSV-encoded tables to add, tables to replace
+// wholesale by name (the way to ship row changes), and table names to
+// drop — ctxmatch.CatalogDelta over the wire. The registry applies it
+// incrementally: only touched tables are rescanned and only affected
+// classifiers retrain, and the result swaps in atomically as a new
+// generation, marked dirty for the drain-time snapshot flush.
+type CatalogDeltaDoc struct {
+	// Add holds tables to append; their names must be new to the catalog.
+	Add []TableDoc `json:"add,omitempty"`
+	// Replace holds full replacement tables for names the catalog
+	// already has.
+	Replace []TableDoc `json:"replace,omitempty"`
+	// Drop lists table names to remove.
+	Drop []string `json:"drop,omitempty"`
+}
+
+// Build parses the document's tables into a live delta. Structural
+// validity against the target catalog (unknown names, duplicates,
+// emptiness) is checked later by Target.Update, which reports
+// ctxmatch.ErrInvalidDelta.
+func (d CatalogDeltaDoc) Build() (ctxmatch.CatalogDelta, error) {
+	buildTables := func(docs []TableDoc, list string) ([]*ctxmatch.Table, error) {
+		var ts []*ctxmatch.Table
+		for i, td := range docs {
+			if td.Name == "" {
+				return nil, fmt.Errorf("%s table %d has no name", list, i)
+			}
+			t, err := ctxmatch.ReadCSV(td.Name, strings.NewReader(td.CSV))
+			if err != nil {
+				return nil, fmt.Errorf("%s table %q: %w", list, td.Name, err)
+			}
+			ts = append(ts, t)
+		}
+		return ts, nil
+	}
+	var delta ctxmatch.CatalogDelta
+	var err error
+	if delta.Add, err = buildTables(d.Add, "add"); err != nil {
+		return ctxmatch.CatalogDelta{}, err
+	}
+	if delta.Replace, err = buildTables(d.Replace, "replace"); err != nil {
+		return ctxmatch.CatalogDelta{}, err
+	}
+	delta.Drop = d.Drop
+	return delta, nil
+}
+
 // CatalogInfo describes one prepared catalog for the listing endpoint:
 // identity, preparation cost and pinned-artifact sizes
 // (ctxmatch.TargetStats over the wire).

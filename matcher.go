@@ -14,6 +14,12 @@ var (
 	// with no tables; the wrapping message says which side. Test with
 	// errors.Is.
 	ErrEmptySchema = core.ErrEmptySchema
+
+	// ErrInvalidDelta reports that Target.Update was handed a catalog
+	// delta that is empty, references unknown (or duplicate) table
+	// names, adds a name the catalog already holds, or carries a nil or
+	// unnamed table. Test with errors.Is.
+	ErrInvalidDelta = core.ErrInvalidDelta
 )
 
 // TableError wraps a failure confined to one source table of a Match
