@@ -16,11 +16,12 @@
 //
 // re-measures on the baseline file's own fixture (so the numbers are
 // apples-to-apples regardless of -quick) and exits non-zero when
-// prepared_ns_op, prepare_ns, snapshot_load_ns, matchany_ns, update_ns,
-// prepared_allocs_op or cold_allocs_op regresses more than -tolerance
-// (default 25%) over the committed baseline (wall-clock metrics use
-// the wider -time-tolerance), or when matchany_pruned_frac — the
-// fraction of fleet catalogs retrieval prunes — or
+// prepared_ns_op, prepare_ns, snapshot_load_ns, matchany_ns,
+// matchany32_ns, update_ns, prepared_allocs_op or cold_allocs_op
+// regresses more than -tolerance (default 25%) over the committed
+// baseline (wall-clock metrics use the wider -time-tolerance), or when
+// matchany_pruned_frac / matchany32_pruned_frac — the fraction of
+// fleet catalogs retrieval prunes at 8 and at 32 catalogs — or
 // update_vs_prepare_speedup — the factor by which a single-table delta
 // beats re-preparing — collapses below the baseline. Improvements and
 // within-tolerance noise pass. No BENCH file is written in this mode.
@@ -94,6 +95,14 @@ type report struct {
 	MatchAnyExhaustNs  int64   `json:"matchany_exhaustive_ns,omitempty"`
 	MatchAnyPrunedFrac float64 `json:"matchany_pruned_frac,omitempty"`
 	MatchAnyCatalogs   int     `json:"matchany_catalogs,omitempty"`
+	// MatchAny32* record the same fleet-retrieval figure over a
+	// 32-catalog fleet — the registry-at-capacity regime where the fused
+	// index's single bound pass prunes most of the fleet before any
+	// per-catalog postings are touched. Zero in baselines recorded
+	// before the fused index existed, which the compare gate skips.
+	MatchAny32Ns         int64   `json:"matchany32_ns,omitempty"`
+	MatchAny32PrunedFrac float64 `json:"matchany32_pruned_frac,omitempty"`
+	MatchAny32Catalogs   int     `json:"matchany32_catalogs,omitempty"`
 	// UpdateNs times Target.Update applying a single-table delta to the
 	// prepared enterprise-scale catalog — the incremental-prepare path —
 	// and UpdatePrepareNs a from-scratch Prepare of the same updated
@@ -219,6 +228,13 @@ func main() {
 	// apples-to-apples.
 	anyNs, anyExhNs, prunedFrac, fleetN := benchMatchAny(fx.TargetRows >= 500)
 
+	// Registry-at-capacity retrieval: the same query over 32 catalogs.
+	// Measured on full fixtures only, and in compare mode only when the
+	// baseline has the figure — no point paying 32 preparations to gate
+	// against a skipped metric.
+	any32Ns, pruned32Frac, fleet32N := benchMatchAny32(
+		fx.TargetRows >= 500 && (baseline == nil || baseline.MatchAny32Ns > 0))
+
 	// Incremental prepare: a single-table delta through Target.Update
 	// versus re-preparing the updated catalog from scratch, sized to the
 	// fixture's weight class like the fleet above.
@@ -234,6 +250,8 @@ func main() {
 			snapshotLoadNs: snapLoad.NsPerOp(),
 			matchAnyNs:     anyNs,
 			prunedFrac:     prunedFrac,
+			matchAny32Ns:   any32Ns,
+			pruned32Frac:   pruned32Frac,
 			updateNs:       updNs,
 			updateSpeedup:  updSpeedup,
 			preparedAllocs: prep.AllocsPerOp(),
@@ -305,6 +323,10 @@ func main() {
 		MatchAnyPrunedFrac: prunedFrac,
 		MatchAnyCatalogs:   fleetN,
 
+		MatchAny32Ns:         any32Ns,
+		MatchAny32PrunedFrac: pruned32Frac,
+		MatchAny32Catalogs:   fleet32N,
+
 		UpdateNs:               updNs,
 		UpdatePrepareNs:        updPrepNs,
 		UpdateVsPrepareSpeedup: updSpeedup,
@@ -330,6 +352,40 @@ func main() {
 // catalog, where exhaustive matching visibly degrades); quick runs get
 // a 4-catalog miniature of the same shape.
 func benchMatchAny(full bool) (retrievalNs, exhaustiveNs int64, prunedFrac float64, catalogs int) {
+	specs := fleetSpecs(full)
+	fleet, src := buildFleet(specs)
+	retrievalNs, prunedFrac = benchFleetQuery(fleet, src, repository.Query{K: repository.DefaultK})
+	exhaustiveNs, _ = benchFleetQuery(fleet, src, repository.Query{Exhaustive: true})
+	return retrievalNs, exhaustiveNs, prunedFrac, len(specs)
+}
+
+// benchMatchAny32 measures fleet retrieval at registry capacity: the
+// full 8-catalog fleet plus 24 more small distinct catalogs, 32 in
+// all, where the fused index's single bound pass prunes most of the
+// fleet before any per-catalog postings are touched. Skipped (all
+// zeros) when run is false — quick fixtures, or compare runs whose
+// baseline predates the fused index.
+func benchMatchAny32(run bool) (retrievalNs int64, prunedFrac float64, catalogs int) {
+	if !run {
+		return 0, 0, 0
+	}
+	specs := fleetSpecs(true)
+	layouts := []datagen.TargetSchema{datagen.Aaron, datagen.Barrett, datagen.Ryan}
+	for i := len(specs); i < 32; i++ {
+		specs = append(specs, datagen.InventoryConfig{
+			Rows: 80, TargetRows: 60, Gamma: 4,
+			Target: layouts[i%len(layouts)], Seed: int64(100 + i),
+		})
+	}
+	fleet, src := buildFleet(specs)
+	retrievalNs, prunedFrac = benchFleetQuery(fleet, src, repository.Query{K: repository.DefaultK})
+	return retrievalNs, prunedFrac, len(specs)
+}
+
+// fleetSpecs is the benchmark fleet's catalog roster; full selects the
+// 8-catalog fleet (including the 10k-scale enterprise catalog), quick
+// runs the 4-catalog miniature of the same shape.
+func fleetSpecs(full bool) []datagen.InventoryConfig {
 	specs := []datagen.InventoryConfig{
 		{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Aaron, Seed: 11},
 		{Rows: 80, TargetRows: 60, Gamma: 4, Target: datagen.Barrett, Seed: 21},
@@ -344,6 +400,13 @@ func benchMatchAny(full bool) (retrievalNs, exhaustiveNs int64, prunedFrac float
 			datagen.InventoryConfig{Rows: 120, TargetRows: 500, Gamma: 4, Target: datagen.Ryan, Seed: 1, Scale: 10, ExtraAttrs: 4, NoDistractors: true},
 		)
 	}
+	return specs
+}
+
+// buildFleet prepares every spec and installs it into a fresh fleet,
+// returning the fleet and the first Ryan dataset's source — the query
+// schema every fleet benchmark uses.
+func buildFleet(specs []datagen.InventoryConfig) (*repository.Fleet, *ctxmatch.Schema) {
 	m, err := ctxmatch.New()
 	exitOn(err)
 	fleet := repository.NewFleet()
@@ -357,22 +420,23 @@ func benchMatchAny(full bool) (retrievalNs, exhaustiveNs int64, prunedFrac float
 			src = fds.Source
 		}
 	}
-	bench := func(q repository.Query) int64 {
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rep, err := fleet.MatchAny(context.Background(), src, q)
-				exitOn(err)
-				if rep.Considered > 0 {
-					prunedFrac = float64(rep.Pruned) / float64(rep.Considered)
-				}
+	return fleet, src
+}
+
+// benchFleetQuery times one MatchAny query shape against the fleet and
+// reports the fraction of catalogs retrieval pruned.
+func benchFleetQuery(fleet *repository.Fleet, src *ctxmatch.Schema, q repository.Query) (int64, float64) {
+	var prunedFrac float64
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := fleet.MatchAny(context.Background(), src, q)
+			exitOn(err)
+			if rep.Considered > 0 {
+				prunedFrac = float64(rep.Pruned) / float64(rep.Considered)
 			}
-		})
-		return r.NsPerOp()
-	}
-	retrievalNs = bench(repository.Query{K: repository.DefaultK})
-	frac := prunedFrac // the exhaustive run below prunes nothing
-	exhaustiveNs = bench(repository.Query{Exhaustive: true})
-	return retrievalNs, exhaustiveNs, frac, len(specs)
+		}
+	})
+	return r.NsPerOp(), prunedFrac
 }
 
 // benchUpdate prepares a catalog, applies a single-table delta (one
@@ -424,6 +488,8 @@ type measured struct {
 	snapshotLoadNs int64
 	matchAnyNs     int64
 	prunedFrac     float64
+	matchAny32Ns   int64
+	pruned32Frac   float64
 	updateNs       int64
 	updateSpeedup  float64
 	preparedAllocs int64
@@ -466,6 +532,7 @@ func compare(baseline *report, now measured, timeTol, allocTol float64) int {
 	check("prepare_ns", baseline.PrepareNs, now.prepareNs, timeTol)
 	check("snapshot_load_ns", baseline.SnapshotLoadNs, now.snapshotLoadNs, timeTol)
 	check("matchany_ns", baseline.MatchAnyNs, now.matchAnyNs, timeTol)
+	check("matchany32_ns", baseline.MatchAny32Ns, now.matchAny32Ns, timeTol)
 	check("update_ns", baseline.UpdateNs, now.updateNs, timeTol)
 	check("prepared_allocs_op", baseline.PrepAllocs, now.preparedAllocs, allocTol)
 	check("cold_allocs_op", baseline.ColdAllocs, now.coldAllocs, allocTol)
@@ -485,6 +552,7 @@ func compare(baseline *report, now measured, timeTol, allocTol float64) int {
 		fmt.Printf("  %-18s %12.3f -> %12.3f  %s\n", metric, base, now, verdict)
 	}
 	checkDown("matchany_pruned_frac", baseline.MatchAnyPrunedFrac, now.prunedFrac)
+	checkDown("matchany32_pruned_frac", baseline.MatchAny32PrunedFrac, now.pruned32Frac)
 	checkDown("update_vs_prepare_speedup", baseline.UpdateVsPrepareSpeedup, now.updateSpeedup)
 	if failed {
 		fmt.Println("bench regression gate: FAIL")

@@ -28,6 +28,11 @@
 // fleet-wide traffic) passes token-bucket admission control; refusals
 // answer 429 with a Retry-After header.
 //
+// With -pprof-addr the daemon additionally serves the net/http/pprof
+// endpoints under /debug/pprof/ on that separate address — separate so
+// profiling stays off the public API surface and its listener can bind
+// to localhost only. Off by default.
+//
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting,
 // in-flight requests get -drain-timeout to finish, dirty catalog
 // snapshots are flushed to -snapshot-dir, then the process exits.
@@ -55,6 +60,7 @@ import (
 // daemonConfig is everything the daemon needs, parsed from flags.
 type daemonConfig struct {
 	addr         string
+	pprofAddr    string
 	drainTimeout time.Duration
 	service      service.Config
 	matcherOpts  []ctxmatch.Option
@@ -75,6 +81,7 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 		snapshotDir = fs.String("snapshot-dir", "", "directory to persist catalog snapshots into and warm-restart from (empty disables)")
 		rateLimit   = fs.Float64("rate-limit", 0, "per-catalog match admission rate in requests/second (0 disables)")
 		rateBurst   = fs.Int("rate-burst", 0, "token-bucket burst capacity per catalog (0 = 2×rate)")
+		pprofAddr   = fs.String("pprof-addr", "", "listen address for the net/http/pprof debug server (empty disables)")
 	)
 	matcherOpts := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +97,7 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 
 	return &daemonConfig{
 		addr:         *addr,
+		pprofAddr:    *pprofAddr,
 		drainTimeout: *drain,
 		service: service.Config{
 			MaxCatalogs:    *maxCatalogs,
@@ -122,6 +130,13 @@ func run(ctx context.Context, cfg *daemonConfig, log *slog.Logger, ready chan<- 
 		Addr:              cfg.addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if cfg.pprofAddr != "" {
+		pln, err := startPprof(cfg.pprofAddr, log)
+		if err != nil {
+			return err
+		}
+		defer pln.Close()
 	}
 	errCh := make(chan error, 1)
 	// The listener opens before the warm restart so orchestrators can

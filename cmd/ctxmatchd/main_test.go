@@ -19,6 +19,16 @@ func TestParseConfig(t *testing.T) {
 	if cfg.addr != "127.0.0.1:0" || cfg.service.MaxCatalogs != 3 {
 		t.Errorf("cfg = %+v", cfg)
 	}
+	if cfg.pprofAddr != "" {
+		t.Errorf("pprof on by default: %q", cfg.pprofAddr)
+	}
+	cfg, err = parseConfig([]string{"-pprof-addr", "127.0.0.1:6060"}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig with -pprof-addr: %v", err)
+	}
+	if cfg.pprofAddr != "127.0.0.1:6060" {
+		t.Errorf("pprofAddr = %q", cfg.pprofAddr)
+	}
 
 	for _, bad := range [][]string{
 		{"-inference", "psychic"},
@@ -79,6 +89,38 @@ func TestRunServesAndDrains(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never drained")
+	}
+}
+
+// TestPprofServer covers the -pprof-addr debug surface: the standalone
+// pprof listener serves the index and a goroutine profile, the daemon
+// boots cleanly with the flag set, and the public API handler exposes
+// no /debug/pprof route at all (profiling is opt-in and off-address by
+// design).
+func TestPprofServer(t *testing.T) {
+	ln, err := startPprof("127.0.0.1:0", slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatalf("startPprof: %v", err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	status, body := request(t, http.MethodGet, base+"/debug/pprof/", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("pprof index = %d: %.200s", status, body)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index unrecognizable: %.200s", body)
+	}
+	status, body = request(t, http.MethodGet, base+"/debug/pprof/goroutine?debug=1", "", nil)
+	if status != http.StatusOK || !strings.Contains(string(body), "goroutine profile") {
+		t.Fatalf("goroutine profile = %d: %.200s", status, body)
+	}
+
+	addr, shutdown := startDaemon(t, []string{"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0"})
+	defer shutdown()
+	if status, _ := request(t, http.MethodGet, "http://"+addr+"/debug/pprof/", "", nil); status != http.StatusNotFound {
+		t.Fatalf("API surface serves /debug/pprof/ with status %d, want 404", status)
 	}
 }
 

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// pprofHandler mounts the net/http/pprof endpoints on a private mux.
+// The daemon's public API handler never imports pprof, so profiling is
+// reachable only through the -pprof-addr listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startPprof binds addr and serves the pprof handler until the returned
+// listener is closed. The caller owns the listener; closing it stops
+// the server.
+func startPprof(addr string, log *slog.Logger) (net.Listener, error) {
+	ln, err := newListener(addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: pprofHandler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil &&
+			!errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+			log.Warn("pprof server", "err", err)
+		}
+	}()
+	log.Info("pprof listening", "addr", ln.Addr().String())
+	return ln, nil
+}

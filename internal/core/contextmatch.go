@@ -15,9 +15,11 @@ import (
 // prototype match re-scored under a candidate view condition.
 type ScoredCandidate struct {
 	Match match.Match // Source is the view, Cond its condition
-	// Base is the prototype (unconditioned) match the candidate was
-	// derived from.
-	Base match.Match
+	// Base points at the prototype (unconditioned) match the candidate
+	// was derived from — shared, not copied: one prototype fans out into
+	// a candidate per view condition, and RL is by far the largest
+	// allocation of a run.
+	Base *match.Match
 	// condKey caches Cond.String(), rendered once per candidate view by
 	// the scoring loop; selection groups thousands of rescored matches
 	// by condition and must not re-render it per entry.
@@ -202,8 +204,16 @@ func contextMatchPrepared(ctx context.Context, src *relational.Schema, pt *Prepa
 	}
 
 	res := &Result{}
-	var protos []match.Match
-	var rl []ScoredCandidate
+	// Merge per-table outputs with exact-size allocations: the candidate
+	// list runs to tens of thousands of entries on wide catalogs, and
+	// growing it by doubling would copy megabytes per request.
+	nProtos, nRL := 0, 0
+	for _, out := range outs {
+		nProtos += len(out.protos)
+		nRL += len(out.rl)
+	}
+	protos := make([]match.Match, 0, nProtos)
+	rl := make([]ScoredCandidate, 0, nRL)
 	for _, out := range outs {
 		protos = append(protos, out.protos...)
 		rl = append(rl, out.rl...)
@@ -267,28 +277,45 @@ func (r *runState) scoreCandidates(rs *relational.Table, bound *match.Bound, pro
 	if workers > 1 {
 		return r.scoreCandidatesParallel(rs, bound, protos, cands, workers)
 	}
-	var rl []ScoredCandidate
+	// Every candidate contributes at most len(protos) entries, so one
+	// exact-capacity allocation replaces both the per-candidate slices
+	// and the doubling growth of the merged list — the dominant
+	// allocation of a large match before this was hoisted.
+	resolved := resolveProtos(bound, protos)
+	rl := make([]ScoredCandidate, 0, len(cands)*len(protos))
 	for _, c := range cands {
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
-		rl = append(rl, scoreOneCandidate(rs, bound, protos, c)...)
+		rl = scoreOneCandidate(rs, bound, protos, resolved, c, rl)
 	}
 	return rl, nil
 }
 
+// resolveProtos hoists the view-invariant half of scoring each prototype
+// pair — target-table resolution, matcher applicability, normalization
+// statistics — out of the per-candidate loop. The resolved pairs are
+// immutable and valid for every clone of bound.
+func resolveProtos(bound *match.Bound, protos []match.Match) []match.ResolvedPair {
+	resolved := make([]match.ResolvedPair, len(protos))
+	for i, p := range protos {
+		resolved[i] = bound.Resolve(p.SourceAttr, p.Target.Name, p.TargetAttr)
+	}
+	return resolved
+}
+
 // scoreOneCandidate materializes one candidate view and rescores every
-// prototype under it (lines 7-9 of Figure 5).
-func scoreOneCandidate(rs *relational.Table, bound *match.Bound, protos []match.Match, c Candidate) []ScoredCandidate {
+// prototype under it (lines 7-9 of Figure 5), appending into rl.
+func scoreOneCandidate(rs *relational.Table, bound *match.Bound, protos []match.Match, resolved []match.ResolvedPair, c Candidate, rl []ScoredCandidate) []ScoredCandidate {
 	view := rs.Select(viewName(rs, c.Cond), c.Cond) // line 7
 	if view.Len() == 0 {
-		return nil
+		return rl
 	}
 	condKey := c.Cond.String()
-	rl := make([]ScoredCandidate, 0, len(protos))
-	for _, proto := range protos { // line 8
-		score, conf := bound.Score(view, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
-		m := proto // line 9: m' is m with RS replaced by Vc
+	for pi := range protos { // line 8
+		proto := &protos[pi]
+		score, conf := bound.ScoreResolved(view, &resolved[pi])
+		m := *proto // line 9: m' is m with RS replaced by Vc
 		m.Source = view
 		m.Cond = c.Cond
 		m.Score = score
@@ -307,6 +334,7 @@ func scoreOneCandidate(rs *relational.Table, bound *match.Bound, protos []match.
 // ctx.Err() and the lowest-index error is reported, matching the
 // sequential path.
 func (r *runState) scoreCandidatesParallel(rs *relational.Table, bound *match.Bound, protos []match.Match, cands []Candidate, workers int) ([]ScoredCandidate, error) {
+	resolved := resolveProtos(bound, protos)
 	slots := make([][]ScoredCandidate, len(cands))
 	errs := make([]error, len(cands))
 	var mu sync.Mutex
@@ -324,17 +352,21 @@ func (r *runState) scoreCandidatesParallel(rs *relational.Table, bound *match.Bo
 			return
 		}
 		clone := pool.Get().(*match.Bound)
-		slots[i] = scoreOneCandidate(rs, clone, protos, cands[i])
+		slots[i] = scoreOneCandidate(rs, clone, protos, resolved, cands[i], make([]ScoredCandidate, 0, len(protos)))
 		pool.Put(clone)
 	})
 	for _, c := range clones {
 		c.Release()
 	}
-	var rl []ScoredCandidate
+	total := 0
 	for i := range cands {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+		total += len(slots[i])
+	}
+	rl := make([]ScoredCandidate, 0, total)
+	for i := range cands {
 		rl = append(rl, slots[i]...)
 	}
 	return rl, nil
@@ -461,9 +493,13 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 	// leave the group entirely (they are no longer matches between Vc
 	// and RT), and sampling noise below ε cannot masquerade as
 	// improvement — the significance concern of §3.
+	// Groups hold indices into rl rather than Match copies: most groups
+	// lose (only winners' matches reach the output), so copying every
+	// surviving candidate's 80-byte Match into growing group slices paid
+	// for work the selection below throws away.
 	type viewGroup struct {
 		cond     relational.Condition
-		matches  []match.Match
+		idx      []int32
 		gains    float64
 		improved int
 		viewSize int
@@ -492,7 +528,7 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 			g = &viewGroup{cond: c.Match.Cond, viewSize: c.Match.Source.Len()}
 			conds[key] = g
 		}
-		g.matches = append(g.matches, c.Match)
+		g.idx = append(g.idx, int32(i))
 		if delta := c.Match.Score - c.Base.Score; delta > improvementEpsilon {
 			g.gains += delta
 			g.improved++
@@ -549,7 +585,9 @@ func selectQualTable(protos []match.Match, rl []ScoredCandidate, opt Options) []
 			continue
 		}
 		for _, g := range winners {
-			out = append(out, g.matches...)
+			for _, i := range g.idx {
+				out = append(out, rl[i].Match)
+			}
 		}
 	}
 	match.SortMatches(out)
@@ -600,6 +638,7 @@ func (r *runState) stageMatches(view *relational.Table, used map[string]bool, pr
 	base := view.Root()
 	bound := r.eng.BindParallel(base, r.tgt, r.feats, r.cols)
 	defer bound.Release()
+	resolved := resolveProtos(bound, protos)
 	var rl []ScoredCandidate
 	for _, c := range inferCandidateViews(view, r.tgt, len(protos) > 0, r.opt, r.fcls) {
 		if err := r.ctx.Err(); err != nil {
@@ -621,9 +660,10 @@ func (r *runState) stageMatches(view *relational.Table, used map[string]bool, pr
 			continue
 		}
 		condKey := cond.String()
-		for _, proto := range protos {
-			score, conf := bound.Score(refined, proto.SourceAttr, proto.Target.Name, proto.TargetAttr)
-			m := proto
+		for pi := range protos {
+			proto := &protos[pi]
+			score, conf := bound.ScoreResolved(refined, &resolved[pi])
+			m := *proto
 			m.Source = refined
 			m.Cond = cond
 			m.Score = score

@@ -72,7 +72,7 @@ func TestDedupCandidates(t *testing.T) {
 func TestScoredCandidateImprovement(t *testing.T) {
 	sc := ScoredCandidate{
 		Match: match.Match{Confidence: 0.9},
-		Base:  match.Match{Confidence: 0.6},
+		Base:  &match.Match{Confidence: 0.6},
 	}
 	if got := sc.Improvement(); got < 29.99 || got > 30.01 {
 		t.Errorf("Improvement = %v, want 30", got)

@@ -87,9 +87,11 @@ type labelClassifier interface {
 }
 
 // classifierFactory builds a fresh labelClassifier for attribute h over
-// the given train/test split. It is re-invoked on every (re)training
-// pass of the merge loop.
-type classifierFactory func(train, test *relational.Table, h string) labelClassifier
+// the given train/test split; groups is the number of dense group
+// indices Train/Predict will see, so implementations can size their
+// accumulators up front. It is re-invoked on every (re)training pass of
+// the merge loop.
+type classifierFactory func(train, test *relational.Table, h string, groups int) labelClassifier
 
 // clusterConfig carries the fixed parameters of ClusteredViewGen.
 type clusterConfig struct {
@@ -111,34 +113,62 @@ func clusteredViewGen(r *relational.Table, cfg clusterConfig, rng *rand.Rand) []
 	train, test := relational.Split(r, cfg.trainFrac, rng)
 	var out []ViewFamily
 	for _, l := range cat {
+		// The categorical profile of l — its distinct training values and
+		// every row's index into them — is independent of h, so it is
+		// resolved once here and every evidence attribute (and every
+		// merge-loop iteration) reuses the dense indices instead of
+		// re-hashing row values.
+		values := train.DistinctValues(l)
+		if len(values) < 2 {
+			continue
+		}
+		trainVI := rowValueIndices(train, l, values)
+		testVI := rowValueIndices(test, l, values)
 		for _, h := range nonCat {
 			if h == l {
 				continue
 			}
-			out = append(out, evaluatePair(r, train, test, h, l, cfg)...)
+			out = append(out, evaluatePair(r, train, test, h, l, values, trainVI, testVI, cfg)...)
 		}
 	}
 	return dedupFamilies(out)
 }
 
+// rowValueIndices maps every row of t to the index of its l-value in
+// values, or -1 for NULLs and values outside the list (test rows whose
+// value was unseen in training) — the rows trainAndTest skips.
+func rowValueIndices(t *relational.Table, l string, values []relational.Value) []int {
+	idx := make(map[relational.Value]int, len(values))
+	for i, v := range values {
+		idx[v.MapKey()] = i
+	}
+	li := t.AttrIndex(l)
+	out := make([]int, len(t.Rows))
+	for ri, row := range t.Rows {
+		out[ri] = -1
+		if v := row[li]; !v.IsNull() {
+			if i, ok := idx[v.MapKey()]; ok {
+				out[ri] = i
+			}
+		}
+	}
+	return out
+}
+
 // evaluatePair runs doTraining/doTesting for one (h, l) pair and, under
 // EarlyDisjuncts, iterates the §3.3 merge loop. Each significant grouping
-// yields one ViewFamily.
-func evaluatePair(r, train, test *relational.Table, h, l string, cfg clusterConfig) []ViewFamily {
-	values := train.DistinctValues(l)
-	if len(values) < 2 {
-		return nil
-	}
-	// groups starts as the singleton partition; the merge loop coarsens
-	// it. labelOf maps a categorical value key to its group index.
-	groups := make([]ValueGroup, len(values))
-	for i, v := range values {
-		groups[i] = ValueGroup{v}
+// yields one ViewFamily. Groups are manipulated as value-index sets and
+// materialized into ValueGroups only when a family is emitted.
+func evaluatePair(r, train, test *relational.Table, h, l string, values []relational.Value, trainVI, testVI []int, cfg clusterConfig) []ViewFamily {
+	// groups starts as the singleton partition; the merge loop coarsens it.
+	groups := make([][]int, len(values))
+	for i := range values {
+		groups[i] = []int{i}
 	}
 
 	var out []ViewFamily
 	for {
-		res := trainAndTest(train, test, h, l, groups, cfg.factory)
+		res := trainAndTest(train, test, h, groups, len(values), trainVI, testVI, cfg.factory)
 		if res.ntest == 0 {
 			return out
 		}
@@ -147,7 +177,7 @@ func evaluatePair(r, train, test *relational.Table, h, l string, cfg clusterConf
 			out = append(out, ViewFamily{
 				Table:        r,
 				Attr:         l,
-				Groups:       cloneGroups(groups),
+				Groups:       materializeGroups(groups, values),
 				Evidence:     h,
 				Significance: sig,
 			})
@@ -165,7 +195,7 @@ func evaluatePair(r, train, test *relational.Table, h, l string, cfg clusterConf
 			return out
 		}
 		merged := append(slices.Clone(groups[i]), groups[j]...)
-		var next []ValueGroup
+		var next [][]int
 		for k, g := range groups {
 			if k != i && k != j {
 				next = append(next, g)
@@ -173,6 +203,21 @@ func evaluatePair(r, train, test *relational.Table, h, l string, cfg clusterConf
 		}
 		groups = append(next, merged)
 	}
+}
+
+// materializeGroups converts value-index groups back into ValueGroups,
+// preserving the index order within each group — the same order the
+// Value-slice merge loop produced before groups went index-based.
+func materializeGroups(groups [][]int, values []relational.Value) []ValueGroup {
+	out := make([]ValueGroup, len(groups))
+	for gi, g := range groups {
+		vg := make(ValueGroup, len(g))
+		for i, vi := range g {
+			vg[i] = values[vi]
+		}
+		out[gi] = vg
+	}
+	return out
 }
 
 // testResult aggregates one doTesting pass.
@@ -186,7 +231,7 @@ type testResult struct {
 	errors map[[2]int]int
 	// freq is each group's frequency in the test data, used to normalize
 	// error counts before choosing what to merge.
-	freq map[int]int
+	freq []int
 }
 
 // topErrorPair returns the group index pair with the highest normalized
@@ -220,33 +265,31 @@ func (r *testResult) topErrorPair() (int, int) {
 }
 
 // trainAndTest performs doTraining and doTesting of Figure 6 for the
-// given grouping of l's values. Group indices serve as classification
-// labels. Tuples whose l value was unseen in training are skipped, as
-// are NULLs. Values key the group map directly (Value is comparable),
-// so the per-row lookups allocate nothing.
-func trainAndTest(train, test *relational.Table, h, l string, groups []ValueGroup, factory classifierFactory) testResult {
-	labelOf := make(map[relational.Value]int, len(groups))
+// given grouping of l's values (as value-index sets over nValues
+// distinct values). Group indices serve as classification labels.
+// Tuples whose l value was unseen in training are skipped, as are NULLs
+// — both carry index -1 in the precomputed trainVI/testVI row maps, so
+// the per-row label resolution is two array reads and hashes nothing.
+func trainAndTest(train, test *relational.Table, h string, groups [][]int, nValues int, trainVI, testVI []int, factory classifierFactory) testResult {
+	groupOf := make([]int, nValues)
 	for gi, g := range groups {
-		for _, v := range g {
-			labelOf[v.MapKey()] = gi
+		for _, vi := range g {
+			groupOf[vi] = gi
 		}
 	}
-	cls := factory(train, test, h)
+	cls := factory(train, test, h, len(groups))
 	// The CNaive baseline of §3.2.2 reduces to counting group frequencies:
 	// its success probability is the majority group's training share.
 	naiveCounts := make([]int, len(groups))
 	trained := 0
 
-	hi, li := train.AttrIndex(h), train.AttrIndex(l)
+	hi := train.AttrIndex(h)
 	for ri, row := range train.Rows {
-		lv := row[li]
-		if lv.IsNull() {
+		vi := trainVI[ri]
+		if vi < 0 {
 			continue
 		}
-		gi, ok := labelOf[lv.MapKey()]
-		if !ok {
-			continue
-		}
+		gi := groupOf[vi]
 		cls.Train(ri, row[hi], gi)
 		naiveCounts[gi]++
 		trained++
@@ -255,7 +298,7 @@ func trainAndTest(train, test *relational.Table, h, l string, groups []ValueGrou
 
 	res := testResult{
 		errors: map[[2]int]int{},
-		freq:   map[int]int{},
+		freq:   make([]int, len(groups)),
 	}
 	if trained > 0 {
 		best := 0
@@ -266,16 +309,13 @@ func trainAndTest(train, test *relational.Table, h, l string, groups []ValueGrou
 		}
 		res.naiveP = float64(best) / float64(trained)
 	}
-	hi, li = test.AttrIndex(h), test.AttrIndex(l)
+	hi = test.AttrIndex(h)
 	for ri, row := range test.Rows {
-		lv := row[li]
-		if lv.IsNull() {
+		vi := testVI[ri]
+		if vi < 0 {
 			continue
 		}
-		want, ok := labelOf[lv.MapKey()]
-		if !ok {
-			continue
-		}
+		want := groupOf[vi]
 		res.ntest++
 		res.freq[want]++
 		got := cls.Predict(ri, row[hi])
@@ -312,14 +352,6 @@ func parseGroupLabel(s string) int {
 		n = n*10 + int(c-'0')
 	}
 	return n
-}
-
-func cloneGroups(gs []ValueGroup) []ValueGroup {
-	out := make([]ValueGroup, len(gs))
-	for i, g := range gs {
-		out[i] = slices.Clone(g)
-	}
-	return out
 }
 
 // dedupFamilies collapses families with identical (table, attr, groups),

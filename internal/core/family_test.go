@@ -199,7 +199,7 @@ func TestTopErrorPairNormalization(t *testing.T) {
 			{0, 1}: 10, // frequent groups: normalized 10/200
 			{2, 3}: 5,  // rare groups: normalized 5/20
 		},
-		freq: map[int]int{0: 100, 1: 100, 2: 10, 3: 10},
+		freq: []int{100, 100, 10, 10},
 	}
 	i, j := res.topErrorPair()
 	if i != 2 || j != 3 {

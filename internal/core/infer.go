@@ -142,7 +142,7 @@ func dedupCandidates(cands []Candidate) []Candidate {
 // numeric attributes, trained directly on the source values of h. Group
 // indices are adapted to the classify package's string labels via
 // groupLabel/parseGroupLabel.
-func srcClassifierFactory(train, _ *relational.Table, h string) labelClassifier {
+func srcClassifierFactory(train, _ *relational.Table, h string, _ int) labelClassifier {
 	a, _ := train.Attr(h)
 	return &srcClassifier{cls: classify.ForType(a.Type)}
 }
@@ -425,7 +425,7 @@ func (tg *tgtTagger) tagsFor(t *relational.Table, h string) []int32 {
 // tags each training row with its most similar target attribute,
 // accumulates TBag(R.h, R.l) in dense slices and derives bestCAT
 // (§3.2.4). Row tags come precomputed from the tagger.
-func (tg *tgtTagger) factory(train, test *relational.Table, h string) labelClassifier {
+func (tg *tgtTagger) factory(train, test *relational.Table, h string, groups int) labelClassifier {
 	nTags := 1 // slot 0 is the no-classifier tag
 	a, _ := train.Attr(h)
 	if fc := tg.fcls.byDomain[a.Type.Domain()]; fc != nil {
@@ -434,6 +434,8 @@ func (tg *tgtTagger) factory(train, test *relational.Table, h string) labelClass
 	return &tgtClassifier{
 		trainTags: tg.tagsFor(train, h),
 		testTags:  tg.tagsFor(test, h),
+		nGroups:   groups,
+		vFreq:     make([]int, groups),
 		gFreq:     make([]int, nTags),
 		tbag:      make([][]int, nTags),
 	}
@@ -448,11 +450,14 @@ type tgtClassifier struct {
 	trainTags, testTags []int32
 
 	// tbag[tagIdx][group] counts pairs; tagIdx is the frozen label index
-	// shifted by one so slot 0 holds the no-classifier tag.
-	tbag  [][]int
-	vFreq []int
-	gFreq []int
-	total int
+	// shifted by one so slot 0 holds the no-classifier tag. Rows are
+	// allocated on a tag's first training pair, sized to the run's group
+	// count; a nil row means the tag never appeared in training.
+	nGroups int
+	tbag    [][]int
+	vFreq   []int
+	gFreq   []int
+	total   int
 
 	bestCAT  []int
 	majority int
@@ -462,11 +467,8 @@ type tgtClassifier struct {
 // by the training row index.
 func (c *tgtClassifier) Train(row int, _ relational.Value, g int) {
 	tag := int(c.trainTags[row]) + 1
-	for g >= len(c.vFreq) {
-		c.vFreq = append(c.vFreq, 0)
-	}
-	for g >= len(c.tbag[tag]) {
-		c.tbag[tag] = append(c.tbag[tag], 0)
+	if c.tbag[tag] == nil {
+		c.tbag[tag] = make([]int, c.nGroups)
 	}
 	c.tbag[tag][g]++
 	c.vFreq[g]++
@@ -480,10 +482,15 @@ func (c *tgtClassifier) Train(row int, _ relational.Value, g int) {
 // sort numerically).
 func (c *tgtClassifier) Finish() {
 	c.majority = -1
-	bestFreq := -1
-	for v, n := range c.vFreq {
-		if n > bestFreq {
-			c.majority, bestFreq = v, n
+	if c.total > 0 {
+		// total == 0 keeps majority at -1: vFreq is preallocated to the
+		// group count, and an all-zero scan must not elect group 0 where
+		// the grown-on-demand accumulator had nothing to scan.
+		bestFreq := -1
+		for v, n := range c.vFreq {
+			if n > bestFreq {
+				c.majority, bestFreq = v, n
+			}
 		}
 	}
 	c.bestCAT = make([]int, len(c.tbag))

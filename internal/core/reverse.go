@@ -35,9 +35,10 @@ func ContextMatchTarget(ctx context.Context, src, tgt *relational.Schema, opt Op
 	out.Matches = unswapAll(rev.Matches)
 	out.Standard = unswapAll(rev.Standard)
 	for _, c := range rev.Candidates {
+		base := unswap(*c.Base)
 		out.Candidates = append(out.Candidates, ScoredCandidate{
 			Match: unswap(c.Match),
-			Base:  unswap(c.Base),
+			Base:  &base,
 		})
 	}
 	return out, nil

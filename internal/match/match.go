@@ -120,6 +120,21 @@ type FeatureCache struct {
 	slotCounts  []float64
 	slotTouched []int32
 	rowIdx      []int
+	// hists memoizes normalized value histograms per (column, range,
+	// bins): the bin weights are a pure function of those inputs, so
+	// re-scoring the same numeric column pair — every candidate view
+	// against the same target column, say — reuses the counts instead of
+	// re-binning. noMemo marks the parallel normalization phase, during
+	// which the cache must stay read-only: histograms are then computed
+	// fresh and not stored.
+	hists  map[histKey][]float64
+	noMemo bool
+}
+
+type histKey struct {
+	col    colKey
+	lo, hi float64
+	bins   int
 }
 
 // colSegments is the per-row tokenization of one base column compiled
@@ -152,6 +167,7 @@ func NewFeatureCache() *FeatureCache {
 		numRanges: map[colKey][2]float64{},
 		rows:      map[colKey][]float64{},
 		segs:      map[colKey]*colSegments{},
+		hists:     map[histKey][]float64{},
 	}
 	c.dict = tokenize.NewDict()
 	return c
@@ -182,6 +198,8 @@ func (c *FeatureCache) release() {
 	clear(c.numRanges)
 	clear(c.rows)
 	clear(c.segs)
+	clear(c.hists)
+	c.noMemo = false
 	c.shared = nil
 	c.dict = nil
 	featureCachePool.Put(c)
@@ -423,6 +441,31 @@ func (c *FeatureCache) NumericRange(t *relational.Table, attr string) (lo, hi fl
 	return r[0], r[1]
 }
 
+// Histogram returns the column's bins-bin normalized value histogram
+// over [lo, hi) (last bin closed), memoized per (column, range, bins).
+// hi must be strictly greater than lo. The bin expression matches the
+// inline loop NumericMatcher historically used bit-for-bit, so memoized
+// reuse cannot move a score.
+func (c *FeatureCache) Histogram(t *relational.Table, attr string, lo, hi float64, bins int) []float64 {
+	key := histKey{colKey{t, attr}, lo, hi, bins}
+	if h, ok := c.hists[key]; ok {
+		return h
+	}
+	vals := c.Numeric(t, attr)
+	h := make([]float64, bins)
+	for _, v := range vals {
+		i := int(float64(bins) * (v - lo) / (hi - lo))
+		if i >= bins {
+			i = bins - 1
+		}
+		h[i] += 1 / float64(len(vals))
+	}
+	if !c.noMemo {
+		c.hists[key] = h
+	}
+	return h
+}
+
 // NameVector returns the trigram ID vector of an attribute name,
 // computed at most once per distinct name, so the name matcher stops
 // re-tokenizing the same identifiers for every scored pair.
@@ -474,7 +517,7 @@ func (c *FeatureCache) scoreRow(src *relational.Table, srcAttr string, maxValues
 		return row
 	}
 	row := make([]float64, c.shared.index.Columns())
-	c.shared.index.ScoreColumns(c.NGramVector(src, srcAttr, maxValues), row)
+	c.shared.index.ScoreColumnsFresh(c.NGramVector(src, srcAttr, maxValues), row)
 	c.rows[key] = row
 	return row
 }
@@ -590,7 +633,9 @@ func (e *Engine) BindParallel(src *relational.Table, tgt *relational.Schema, tf 
 	}
 	if workers > 1 && tf.covers(tgt, e.ngramMaxValues()) {
 		b.prewarmParallel(workers)
+		b.cache.noMemo = true
 		b.normalizeParallel(workers)
+		b.cache.noMemo = false
 	} else {
 		b.normalizeSequential()
 	}
@@ -786,6 +831,7 @@ func (b *Bound) Clone() *Bound {
 	maps.Copy(c.numRanges, b.cache.numRanges)
 	maps.Copy(c.rows, b.cache.rows)
 	maps.Copy(c.segs, b.cache.segs)
+	maps.Copy(c.hists, b.cache.hists)
 	return &Bound{
 		engine:  b.engine,
 		src:     b.src,
@@ -847,6 +893,121 @@ func (b *Bound) Score(srcView *relational.Table, srcAttr string, tgtTable, tgtAt
 	// weight, so the instance-based matchers dominate: a view that
 	// doubles the instance evidence should register in the score even
 	// though the schema-level matchers are invariant under views.
+	return totalScore / totalWeight, totalConf / totalWeight
+}
+
+// ResolvedPair is one (source attribute, target attribute) pair with
+// every view-invariant lookup of Score hoisted out: the target table
+// resolution, the per-matcher applicability (a function of declared
+// attribute types only, which select-only views share with their base
+// table), and the normalization statistics. Rescoring the same pair
+// under many candidate views — the inner loop of contextual matching —
+// then skips all of the repeated string-keyed traffic. Build with
+// Bound.Resolve; the value is immutable and shareable across the
+// Bound's clones, whose engine and statistics it snapshots.
+type ResolvedPair struct {
+	srcAttr, tgtAttr string
+	tt               *relational.Table
+	appl             uint64 // bit mi set: matcher mi applicable
+	konst            uint64 // bit mi set: ms[mi].raw/conf precomputed
+	ms               []resolvedMatcher
+	ok               bool
+}
+
+// resolvedMatcher is one matcher's pair-constant state: its
+// normalization statistics, and — for view-invariant matchers — its
+// precomputed raw score and confidence.
+type resolvedMatcher struct {
+	ns        normStat
+	raw, conf float64
+}
+
+// viewInvariantMatcher is an optional AttrMatcher extension: a matcher
+// returning true scores purely on declared metadata (attribute names,
+// types), so its raw score for a pair is the same under the base table
+// and every select-only view of it, and Resolve computes it once.
+type viewInvariantMatcher interface {
+	ViewInvariant() bool
+}
+
+// Resolve precomputes the ResolvedPair for one attribute pair. An
+// unknown table or attribute yields a pair that scores (0, 0), exactly
+// like Score's own validation.
+func (b *Bound) Resolve(srcAttr, tgtTable, tgtAttr string) ResolvedPair {
+	tt := b.tgt.Table(tgtTable)
+	if tt == nil || b.src.AttrIndex(srcAttr) < 0 || tt.AttrIndex(tgtAttr) < 0 {
+		return ResolvedPair{}
+	}
+	rp := ResolvedPair{
+		srcAttr: srcAttr,
+		tgtAttr: tgtAttr,
+		tt:      tt,
+		ms:      make([]resolvedMatcher, len(b.engine.Matchers)),
+		ok:      true,
+	}
+	for mi, m := range b.engine.Matchers {
+		if !m.Applicable(b.src, srcAttr, tt, tgtAttr) {
+			continue
+		}
+		rp.appl |= 1 << uint(mi)
+		ns := b.norm[mi][srcAttr]
+		rp.ms[mi].ns = ns
+		if vi, okVI := m.(viewInvariantMatcher); okVI && vi.ViewInvariant() {
+			raw := m.Score(b.cache, b.src, srcAttr, tt, tgtAttr)
+			rp.ms[mi].raw = raw
+			rp.ms[mi].conf = b.confidence(raw, ns)
+			rp.konst |= 1 << uint(mi)
+		}
+	}
+	return rp
+}
+
+// confidence maps one matcher's raw score through its normalization
+// statistics (and the optional evidence discount) — the shared tail of
+// Score and ScoreResolved.
+func (b *Bound) confidence(raw float64, ns normStat) float64 {
+	conf := stats.NormalCDF(raw, ns.mu, ns.sigma)
+	if b.engine.EvidenceScale > 0 {
+		conf *= 1 - math.Exp(-raw/b.engine.EvidenceScale)
+	}
+	return conf
+}
+
+// ScoreResolved is Score over a precomputed ResolvedPair: bit-identical
+// output, minus the per-call table/statistics lookups, applicability
+// re-checks, and re-scoring of view-invariant matchers. The
+// accumulation visits matchers in the same order with the same values,
+// so the floating-point result cannot diverge from Score's. srcView
+// must obey Score's contract (the bound source table or a select-only
+// view over it — which is also what makes the resolved applicability
+// and the precomputed metadata scores valid for it).
+func (b *Bound) ScoreResolved(srcView *relational.Table, rp *ResolvedPair) (score, confidence float64) {
+	if !rp.ok {
+		return 0, 0
+	}
+	var totalScore, totalConf, totalWeight float64
+	applicable := 0
+	for mi, m := range b.engine.Matchers {
+		bit := uint64(1) << uint(mi)
+		if rp.appl&bit == 0 {
+			continue
+		}
+		applicable++
+		var raw, conf float64
+		if rp.konst&bit != 0 {
+			raw, conf = rp.ms[mi].raw, rp.ms[mi].conf
+		} else {
+			raw = m.Score(b.cache, srcView, rp.srcAttr, rp.tt, rp.tgtAttr)
+			conf = b.confidence(raw, rp.ms[mi].ns)
+		}
+		w := m.Weight()
+		totalScore += w * raw
+		totalConf += w * conf
+		totalWeight += w
+	}
+	if applicable == 0 || totalWeight == 0 {
+		return 0, 0
+	}
 	return totalScore / totalWeight, totalConf / totalWeight
 }
 

@@ -33,6 +33,10 @@ func (NameMatcher) Score(cache *FeatureCache, _ *relational.Table, srcAttr strin
 	return tokenize.JaccardIDs(cache.NameVector(srcAttr), cache.NameVector(tgtAttr))
 }
 
+// ViewInvariant reports that name similarity ignores instance data:
+// resolved pairs score it once instead of once per candidate view.
+func (NameMatcher) ViewInvariant() bool { return true }
+
 // ValueNGramMatcher is the instance-based matcher for string-domain
 // attributes: cosine similarity of the aggregate 3-gram frequency
 // vectors of the two columns. Non-string pairs score 0, leaving numbers
@@ -136,18 +140,11 @@ func (m NumericMatcher) Score(cache *FeatureCache, src *relational.Table, srcAtt
 	if hi == lo {
 		return 1 // both columns are the same constant
 	}
-	hist := func(vals []float64) []float64 {
-		h := make([]float64, bins)
-		for _, v := range vals {
-			i := int(float64(bins) * (v - lo) / (hi - lo))
-			if i >= bins {
-				i = bins - 1
-			}
-			h[i] += 1 / float64(len(vals))
-		}
-		return h
-	}
-	hx, hy := hist(xs), hist(ys)
+	// Histograms are memoized per (column, combined range, bins): a
+	// candidate view scored against many targets — or many views against
+	// the same target — re-bins each side once per distinct range.
+	hx := cache.Histogram(src, srcAttr, lo, hi, bins)
+	hy := cache.Histogram(tgt, tgtAttr, lo, hi, bins)
 	var overlap float64
 	for i := 0; i < bins; i++ {
 		overlap += math.Min(hx[i], hy[i])
@@ -171,6 +168,12 @@ func (m TypeMatcher) Weight() float64 { return m.W }
 func (TypeMatcher) Applicable(*relational.Table, string, *relational.Table, string) bool {
 	return true
 }
+
+// ViewInvariant reports that declared-type compatibility ignores
+// instance data: resolved pairs score it once instead of once per
+// candidate view. Select-only views share their base table's declared
+// attributes, so the score cannot differ across views.
+func (TypeMatcher) ViewInvariant() bool { return true }
 
 // Score implements AttrMatcher.
 func (TypeMatcher) Score(_ *FeatureCache, src *relational.Table, srcAttr string, tgt *relational.Table, tgtAttr string) float64 {

@@ -2,7 +2,12 @@ package repository
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
+
+	"ctxmatch"
+	"ctxmatch/internal/datagen"
 )
 
 // BenchmarkMatchAny measures the subsystem's reason to exist: answering
@@ -33,6 +38,95 @@ func BenchmarkMatchAny(b *testing.B) {
 					b.Fatal("no winner")
 				}
 			}
+		})
+	}
+}
+
+// fleet32Extra holds the 24 additional catalogs that, together with the
+// eight shared ones, make up the 32-catalog benchmark fleet — small but
+// genuinely distinct (three layouts, rotating seeds), prepared once per
+// test binary.
+var (
+	fleet32Once  sync.Once
+	fleet32Extra []*ctxmatch.Target
+	fleet32Err   error
+)
+
+// newTestFleet32 installs the eight shared catalogs plus 24 extras: the
+// registry-at-capacity regime the fused index exists for, where one
+// source fans out over 32 candidate catalogs.
+func newTestFleet32(t testing.TB, workers int) *Fleet {
+	fx := sharedFleet(t)
+	fleet32Once.Do(func() {
+		m, err := ctxmatch.New(ctxmatch.WithSeed(5))
+		if err != nil {
+			fleet32Err = err
+			return
+		}
+		layouts := []datagen.TargetSchema{datagen.Aaron, datagen.Barrett, datagen.Ryan}
+		for i := 0; i < 24; i++ {
+			ds := datagen.Inventory(datagen.InventoryConfig{
+				Rows: 80, TargetRows: 60, Gamma: 4,
+				Target: layouts[i%len(layouts)], Seed: int64(100 + i),
+			})
+			tgt, err := m.Prepare(context.Background(), ds.Target)
+			if err != nil {
+				fleet32Err = fmt.Errorf("prepare extra-%02d: %w", i, err)
+				return
+			}
+			fleet32Extra = append(fleet32Extra, tgt)
+		}
+	})
+	if fleet32Err != nil {
+		t.Fatalf("32-catalog fleet fixture: %v", fleet32Err)
+	}
+	f := NewFleet()
+	gen := 0
+	for _, spec := range fleetSpecs {
+		gen++
+		f.Installed(spec.name, gen, fx.targets[spec.name].WithParallelism(workers))
+	}
+	for i, tgt := range fleet32Extra {
+		gen++
+		f.Installed(fmt.Sprintf("extra-%02d", i), gen, tgt.WithParallelism(workers))
+	}
+	return f
+}
+
+// BenchmarkMatchAny32 is BenchmarkMatchAny at registry scale: the same
+// query over a 32-catalog fleet, where the fused bound pass prunes most
+// of the fleet without touching per-catalog postings. The pruned
+// fraction is reported as a metric so profile runs record the pruning
+// efficacy alongside the wall clock.
+func BenchmarkMatchAny32(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fleet fixture skipped in -short mode")
+	}
+	f := newTestFleet32(b, 1)
+	src := sharedFleet(b).datasets["aaron-1"].Source
+	for _, mode := range []struct {
+		name string
+		q    Query
+	}{
+		{"retrieval", Query{K: 3}},
+		{"exhaustive", Query{Exhaustive: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var prunedFrac float64
+			for i := 0; i < b.N; i++ {
+				rep, err := f.MatchAny(context.Background(), src, mode.q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Best() == nil {
+					b.Fatal("no winner")
+				}
+				if rep.Considered > 0 {
+					prunedFrac = float64(rep.Pruned) / float64(rep.Considered)
+				}
+			}
+			b.ReportMetric(prunedFrac, "pruned-frac")
 		})
 	}
 }

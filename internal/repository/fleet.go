@@ -38,6 +38,7 @@ import (
 
 	"ctxmatch"
 	"ctxmatch/internal/match"
+	"ctxmatch/internal/tokenize"
 )
 
 // Entry is one catalog of the fleet: the registry name and generation
@@ -53,6 +54,10 @@ type Entry struct {
 	Target *ctxmatch.Target
 
 	feats *match.TargetFeatures
+	// slot is the catalog's handle in the fleet's fused index, nil for
+	// unindexed catalogs. Guarded by the fleet's mutex like the fused
+	// index itself.
+	slot *tokenize.FusedSlot
 }
 
 // Indexed reports whether the catalog carries a candidate index to
@@ -62,22 +67,38 @@ type Entry struct {
 func (e *Entry) Indexed() bool { return e.feats.Index() != nil }
 
 // Fleet is the cross-catalog retrieval index: the set of installed
-// catalog entries, kept consistent with the owning registry through
-// Installed/Removed. All methods are safe for concurrent use.
+// catalog entries plus the registry-global fused index over their
+// candidate indexes, kept consistent with the owning registry through
+// Installed/Removed. All methods are safe for concurrent use; the
+// fused index is maintained under the write lock and probed under the
+// read lock (its global dictionary stays unfrozen across installs).
 type Fleet struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	fused   *tokenize.FusedIndex
 }
 
-// NewFleet returns an empty fleet.
+// NewFleet returns an empty fleet with the default fused-index
+// compaction threshold.
 func NewFleet() *Fleet {
-	return &Fleet{entries: map[string]*Entry{}}
+	return newFleetCompact(0)
 }
 
-// Installed publishes (or atomically replaces) the entry for name. It
-// is called for every registry install — prepare, re-prepare and
-// snapshot restore — under the registry's own lock, so the fleet's
-// view is linearized with the registry's.
+// newFleetCompact is NewFleet with an explicit fused-index compaction
+// threshold (≤ 0 selects the default); the compaction property tests
+// exercise the rebuild at every threshold.
+func newFleetCompact(threshold int) *Fleet {
+	return &Fleet{
+		entries: map[string]*Entry{},
+		fused:   tokenize.NewFusedIndex(threshold),
+	}
+}
+
+// Installed publishes (or atomically replaces) the entry for name and
+// fuses its candidate index into the registry-global index. It is
+// called for every registry install — prepare, re-prepare, PATCH
+// delta swap and snapshot restore — under the registry's own lock, so
+// the fleet's view is linearized with the registry's.
 func (f *Fleet) Installed(name string, generation int, t *ctxmatch.Target) {
 	e := &Entry{
 		Name:       name,
@@ -86,16 +107,26 @@ func (f *Fleet) Installed(name string, generation int, t *ctxmatch.Target) {
 		feats:      t.Prepared().Features(),
 	}
 	f.mu.Lock()
+	if old := f.entries[name]; old != nil {
+		f.fused.Remove(old.slot)
+	}
+	if ix := e.feats.Index(); ix != nil {
+		e.slot = f.fused.Install(e.feats.Dict(), ix)
+	}
 	f.entries[name] = e
 	f.mu.Unlock()
 }
 
-// Removed drops name's entry — LRU eviction or explicit deletion.
-// Retrievals that already snapshotted the entry finish on it; the
-// prepared handle stays valid for them, exactly as registry readers
-// finish on an evicted handle.
+// Removed drops name's entry — LRU eviction or explicit deletion —
+// and tombstones its fused-index slot (the structure compacts itself
+// at its threshold). Retrievals that already snapshotted the entry
+// finish on it; the prepared handle stays valid for them, exactly as
+// registry readers finish on an evicted handle.
 func (f *Fleet) Removed(name string) {
 	f.mu.Lock()
+	if old := f.entries[name]; old != nil {
+		f.fused.Remove(old.slot)
+	}
 	delete(f.entries, name)
 	f.mu.Unlock()
 }
@@ -107,17 +138,35 @@ func (f *Fleet) Len() int {
 	return len(f.entries)
 }
 
-// Entries snapshots the installed catalogs in ascending name order —
-// the deterministic walk order of every retrieval.
-func (f *Fleet) Entries() []*Entry {
+// FusedStats is the fused index's size-and-effectiveness snapshot,
+// re-exported so the serving layer can surface it without reaching
+// into the tokenize internals.
+type FusedStats = tokenize.FusedStats
+
+// FusedStats snapshots the registry-global fused index.
+func (f *Fleet) FusedStats() tokenize.FusedStats {
 	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.fused.Stats()
+}
+
+// entriesLocked snapshots the installed catalogs in ascending name
+// order — the deterministic base order of every retrieval. Callers
+// hold at least the read lock.
+func (f *Fleet) entriesLocked() []*Entry {
 	out := make([]*Entry, 0, len(f.entries))
 	for _, e := range f.entries {
 		out = append(out, e)
 	}
-	f.mu.RUnlock()
 	slices.SortFunc(out, func(a, b *Entry) int { return strings.Compare(a.Name, b.Name) })
 	return out
+}
+
+// Entries snapshots the installed catalogs in ascending name order.
+func (f *Fleet) Entries() []*Entry {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.entriesLocked()
 }
 
 // DefaultK is the survivor count when a query does not set one.
@@ -220,15 +269,21 @@ func (f *Fleet) MatchAny(ctx context.Context, src *ctxmatch.Schema, q Query) (*R
 	if q.MinScore < 0 || q.MinScore >= 1 {
 		return nil, fmt.Errorf("%w: match-any min score %v outside [0, 1)", ctxmatch.ErrInvalidOption, q.MinScore)
 	}
-	entries := f.Entries()
-	report := &Report{Considered: len(entries)}
+	report := &Report{}
 
-	var survivors []*Entry
+	var entries, survivors []*Entry
 	var evidence map[string]float64
 	if q.Exhaustive {
+		entries = f.Entries()
 		survivors = entries
 	} else {
-		scores := retrieve(entries, src, q.K, q.MinScore)
+		// The fused pass reads the unfrozen global dictionary and the
+		// slot table, so it runs under the read lock; the exact matches
+		// below run on the immutable survivor snapshot outside it.
+		f.mu.RLock()
+		entries = f.entriesLocked()
+		scores := f.fusedRetrieve(entries, src, q.K, q.MinScore)
+		f.mu.RUnlock()
 		report.Retrieval = scores
 		evidence = make(map[string]float64, len(scores))
 		for _, cs := range scores {
@@ -240,6 +295,7 @@ func (f *Fleet) MatchAny(ctx context.Context, src *ctxmatch.Schema, q Query) (*R
 		}
 		survivors = pickSurvivors(entries, scores, q.K)
 	}
+	report.Considered = len(entries)
 
 	for _, e := range survivors {
 		cm := CatalogMatch{Name: e.Name, Generation: e.Generation, Evidence: evidence[e.Name]}

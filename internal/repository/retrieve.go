@@ -26,6 +26,9 @@ type gramCount struct {
 type srcColumn struct {
 	grams []gramCount
 	norm  float64
+	// global is the column keyed into a fused index's global ID space,
+	// set by the fused retrieval pass that owns the profile.
+	global *tokenize.IDVector
 }
 
 // extractColumns profiles every string-domain column of src: trigram

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ctxmatch/internal/metrics"
+	"ctxmatch/internal/repository"
 )
 
 // serverMetrics is the daemon's instrumentation: one registry rendered
@@ -71,6 +72,29 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.NewGaugeFunc("ctxmatchd_catalogs",
 		"Prepared catalogs currently installed in the registry.",
 		func() float64 { return float64(s.reg.Len()) })
+	// The fused retrieval index behind /v1/match-any: structure size
+	// (slots, tombstones awaiting compaction, global grams, fused runs,
+	// estimated bytes) and lifetime bound-pass effectiveness (probes,
+	// catalog-columns skipped on the fused bound alone). Each gauge
+	// snapshots the fleet under its read lock at scrape time.
+	fusedGauge := func(name, help string, field func(s repository.FusedStats) float64) {
+		r.NewGaugeFunc("ctxmatchd_fused_"+name, help,
+			func() float64 { return field(s.fleet.FusedStats()) })
+	}
+	fusedGauge("slots", "Fused index slot-table length, tombstones included.",
+		func(st repository.FusedStats) float64 { return float64(st.Slots) })
+	fusedGauge("tombstones", "Fused index slots tombstoned and awaiting compaction.",
+		func(st repository.FusedStats) float64 { return float64(st.Tombstones) })
+	fusedGauge("grams", "Distinct grams in the fused index's shared global dictionary.",
+		func(st repository.FusedStats) float64 { return float64(st.Grams) })
+	fusedGauge("runs", "Catalog-tagged posting runs in the fused index.",
+		func(st repository.FusedStats) float64 { return float64(st.Runs) })
+	fusedGauge("bytes", "Estimated memory held by the fused index, inverse remaps included.",
+		func(st repository.FusedStats) float64 { return float64(st.Bytes) })
+	fusedGauge("probes_total", "Fused bound passes served (one per source column per retrieval).",
+		func(st repository.FusedStats) float64 { return float64(st.Probes) })
+	fusedGauge("bound_skips_total", "Catalog-columns whose exact scan the fused bound alone skipped.",
+		func(st repository.FusedStats) float64 { return float64(st.BoundSkips) })
 	r.NewGaugeFunc("ctxmatchd_index_hit_rate",
 		"Mean candidate-index hit rate across installed catalogs (fraction of column pairs not pruned).",
 		func() float64 {

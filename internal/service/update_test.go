@@ -103,6 +103,112 @@ func TestPatchCatalog(t *testing.T) {
 	}
 }
 
+// TestMatchAnyObservesPatch is the observer-wiring regression test for
+// incremental updates: a PATCH swap must reach the fleet's fused index
+// synchronously, so the very next /v1/match-any reports the new
+// generation and its winner payload is bit-identical to matching the
+// patched catalog directly. The fused index gauges on /metrics must
+// reflect the swapped fleet too.
+func TestMatchAnyObservesPatch(t *testing.T) {
+	catDoc, srcDoc := fixtureDocs(t, 1)
+	altDoc, _ := fixtureDocs(t, 2) // same table names, different rows
+	otherDoc, _ := fixtureDocs(t, 3)
+	ts, svc := newTestServer(t, nil)
+
+	if status, _ := putCatalog(t, ts, "inv", catDoc); status != http.StatusCreated {
+		t.Fatalf("PUT inv failed")
+	}
+	if status, _ := putCatalog(t, ts, "other", otherDoc); status != http.StatusCreated {
+		t.Fatalf("PUT other failed")
+	}
+
+	generations := func(stage string) map[string]int {
+		t.Helper()
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/match-any", MatchAnyRequest{Source: srcDoc})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: match-any status = %d\n%s", stage, resp.StatusCode, body)
+		}
+		var out MatchAnyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s: decoding match-any: %v", stage, err)
+		}
+		gens := map[string]int{}
+		for _, cs := range out.Retrieval {
+			gens[cs.Name] = cs.Generation
+		}
+		return gens
+	}
+	if gens := generations("before PATCH"); gens["inv"] != 1 || gens["other"] != 1 {
+		t.Fatalf("fresh fleet generations = %v, want both 1", gens)
+	}
+
+	delta := CatalogDeltaDoc{Replace: []TableDoc{altDoc.Tables[0]}}
+	status, info, body := patchCatalog(t, ts, "inv", delta)
+	if status != http.StatusOK {
+		t.Fatalf("PATCH status = %d\n%s", status, body)
+	}
+	if info.Generation != 2 {
+		t.Fatalf("PATCH generation = %d, want 2", info.Generation)
+	}
+
+	// The fleet saw the swap before the PATCH response was written — no
+	// refresh, no second request, no eventual consistency.
+	for _, e := range svc.Fleet().Entries() {
+		if e.Name == "inv" && e.Generation != 2 {
+			t.Fatalf("fleet entry for inv at generation %d after PATCH", e.Generation)
+		}
+	}
+	if gens := generations("after PATCH"); gens["inv"] != 2 || gens["other"] != 1 {
+		t.Fatalf("post-PATCH generations = %v, want inv=2 other=1", gens)
+	}
+
+	// The match-any payload for the patched catalog is the new
+	// generation's, bit-identical to a direct match against it.
+	status, any, body := postMatchAny(t, ts, MatchAnyRequest{Source: srcDoc, Exhaustive: true})
+	if status != http.StatusOK {
+		t.Fatalf("exhaustive match-any status = %d\n%s", status, body)
+	}
+	var fromAny []byte
+	for _, mc := range any.Catalogs {
+		if mc.Name == "inv" {
+			if mc.Generation != 2 || mc.Result == nil {
+				t.Fatalf("match-any inv: generation %d, result %v", mc.Generation, mc.Result)
+			}
+			fromAny, _ = json.Marshal(mc.Result.Matches)
+		}
+	}
+	resp, direct := doJSON(t, http.MethodPost, ts.URL+"/v1/catalogs/inv/match", matchRequest{Source: srcDoc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct match status = %d", resp.StatusCode)
+	}
+	var directRes ctxmatch.Result
+	if err := json.Unmarshal(direct, &directRes); err != nil {
+		t.Fatalf("decoding direct result: %v", err)
+	}
+	fromDirect, _ := json.Marshal(directRes.Matches)
+	if !bytes.Equal(fromAny, fromDirect) {
+		t.Fatalf("match-any edges for patched catalog differ from direct match:\n%s\n%s", fromAny, fromDirect)
+	}
+
+	// The fused index gauges track the swapped fleet: two live slots and
+	// no tombstones (the swap's tombstone crossed the half-dead mark of
+	// this two-catalog fleet and compacted away).
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"ctxmatchd_fused_slots 2",
+		"ctxmatchd_fused_tombstones 0",
+		"ctxmatchd_fused_grams ",
+		"ctxmatchd_fused_probes_total ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
 // TestPatchCatalogErrors pins the failure statuses: unknown catalog is
 // 404; malformed JSON, structurally invalid deltas and bad CSV are 400
 // with the reason in the error envelope.

@@ -3,6 +3,7 @@ package tokenize
 import (
 	"math"
 	"slices"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 )
@@ -111,6 +112,17 @@ func (ix *Index) ScoreColumns(src *IDVector, row []float64) int {
 	for i := range row {
 		row[i] = 0
 	}
+	return ix.scoreColumnsCleared(src, row)
+}
+
+// ScoreColumnsFresh is ScoreColumns minus the initial clear, for rows
+// the caller just allocated (and the runtime therefore already zeroed).
+// Passing a dirty row produces garbage.
+func (ix *Index) ScoreColumnsFresh(src *IDVector, row []float64) int {
+	return ix.scoreColumnsCleared(src, row)
+}
+
+func (ix *Index) scoreColumnsCleared(src *IDVector, row []float64) int {
 	if src.NNZ() == 0 {
 		ix.count(0)
 		return 0
@@ -170,7 +182,9 @@ func (ix *Index) ScoreColumnsFloored(src *IDVector, row []float64, floor float64
 		return 0
 	}
 	sn := src.Norm()
-	bounds := make([]float64, 0, src.NNZ())
+	sc := flooredScratchPool.Get().(*flooredScratch)
+	defer flooredScratchPool.Put(sc)
+	bounds := sc.bounds[:0]
 	var total float64
 	for i, id := range src.IDs {
 		b := 0.0
@@ -180,6 +194,7 @@ func (ix *Index) ScoreColumnsFloored(src *IDVector, row []float64, floor float64
 		bounds = append(bounds, b)
 		total += b
 	}
+	sc.bounds = bounds
 	if total < floor {
 		// No column can reach the floor through any subset of src's
 		// grams.
@@ -190,8 +205,15 @@ func (ix *Index) ScoreColumnsFloored(src *IDVector, row []float64, floor float64
 	// bound sum stays below the floor: a column sharing only tail grams
 	// is bounded by the tail sum and cannot reach the floor, so only
 	// essential posting lists need traversing.
-	essential := make([]bool, len(bounds))
-	order := sortedBoundOrder(bounds)
+	if cap(sc.essential) < len(bounds) {
+		sc.essential = make([]bool, len(bounds))
+	}
+	essential := sc.essential[:len(bounds)]
+	for i := range essential {
+		essential[i] = false
+	}
+	order := sortedBoundOrder(bounds, sc.order)
+	sc.order = order
 	tail := 0.0
 	for _, i := range order { // ascending bound order
 		if tail+bounds[i] < floor {
@@ -200,8 +222,13 @@ func (ix *Index) ScoreColumnsFloored(src *IDVector, row []float64, floor float64
 		}
 		essential[i] = true
 	}
-	seen := make([]bool, len(ix.cols))
-	var cands []uint32
+	// seen is kept all-false between calls: touched entries are reset
+	// via cands before the scratch goes back to the pool.
+	if cap(sc.seen) < len(ix.cols) {
+		sc.seen = make([]bool, len(ix.cols))
+	}
+	seen := sc.seen[:len(ix.cols)]
+	cands := sc.cands[:0]
 	for i, id := range src.IDs {
 		if !essential[i] || int(id) >= len(ix.lists) {
 			continue
@@ -215,19 +242,35 @@ func (ix *Index) ScoreColumnsFloored(src *IDVector, row []float64, floor float64
 	}
 	for _, ci := range cands {
 		row[ci] = CosineIDs(src, ix.cols[ci])
+		seen[ci] = false
 	}
+	sc.cands = cands
 	ix.count(len(cands))
 	return len(cands)
 }
 
+// flooredScratch holds the per-probe working set of ScoreColumnsFloored
+// — bound values, their sort order, the essential marks and the
+// candidate dedup — so steady-state floored probes allocate nothing.
+// The seen slice is maintained all-false across uses.
+type flooredScratch struct {
+	bounds    []float64
+	essential []bool
+	order     []int
+	seen      []bool
+	cands     []uint32
+}
+
+var flooredScratchPool = sync.Pool{New: func() any { return &flooredScratch{} }}
+
 // sortedBoundOrder returns the indices of bounds in ascending bound
-// order (ties by index, for determinism). bounds has one entry per
-// distinct source gram — thousands for a large column — so this must
-// stay O(n log n).
-func sortedBoundOrder(bounds []float64) []int {
-	order := make([]int, len(bounds))
-	for i := range order {
-		order[i] = i
+// order (ties by index, for determinism), reusing buf's capacity.
+// bounds has one entry per distinct source gram — thousands for a large
+// column — so this must stay O(n log n).
+func sortedBoundOrder(bounds []float64, buf []int) []int {
+	order := buf[:0]
+	for i := range bounds {
+		order = append(order, i)
 	}
 	slices.SortFunc(order, func(a, b int) int {
 		switch {
