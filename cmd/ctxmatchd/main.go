@@ -28,6 +28,13 @@
 // fleet-wide traffic) passes token-bucket admission control; refusals
 // answer 429 with a Retry-After header.
 //
+// /v1/match-any degrades instead of failing: on a per-catalog error,
+// an expired deadline budget, or an open circuit breaker the response
+// is still 200 with "degraded": true and the skipped catalogs listed
+// with reasons. -breaker-threshold consecutive failures open a
+// catalog's breaker; -breaker-cooldown later a half-open trial lets it
+// close again.
+//
 // With -pprof-addr the daemon additionally serves the net/http/pprof
 // endpoints under /debug/pprof/ on that separate address — separate so
 // profiling stays off the public API surface and its listener can bind
@@ -82,6 +89,8 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 		rateLimit   = fs.Float64("rate-limit", 0, "per-catalog match admission rate in requests/second (0 disables)")
 		rateBurst   = fs.Int("rate-burst", 0, "token-bucket burst capacity per catalog (0 = 2×rate)")
 		pprofAddr   = fs.String("pprof-addr", "", "listen address for the net/http/pprof debug server (empty disables)")
+		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive match-any failures that open a catalog's circuit breaker (0 = default 5, <0 disables)")
+		brkCooldown = fs.Duration("breaker-cooldown", 0, "how long an open breaker skips a catalog before a half-open trial (0 = default 10s)")
 	)
 	matcherOpts := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -100,13 +109,15 @@ func parseConfig(args []string, w io.Writer) (*daemonConfig, error) {
 		pprofAddr:    *pprofAddr,
 		drainTimeout: *drain,
 		service: service.Config{
-			MaxCatalogs:    *maxCatalogs,
-			MaxBodyBytes:   *maxBody,
-			RequestTimeout: *reqTimeout,
-			MaxInFlight:    *maxInFlight,
-			SnapshotDir:    *snapshotDir,
-			RateLimit:      *rateLimit,
-			RateBurst:      *rateBurst,
+			MaxCatalogs:      *maxCatalogs,
+			MaxBodyBytes:     *maxBody,
+			RequestTimeout:   *reqTimeout,
+			MaxInFlight:      *maxInFlight,
+			SnapshotDir:      *snapshotDir,
+			RateLimit:        *rateLimit,
+			RateBurst:        *rateBurst,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCooldown,
 		},
 		matcherOpts: opts,
 	}, nil

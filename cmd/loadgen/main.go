@@ -18,6 +18,17 @@
 // -fail-on-error, which exits non-zero on any transport error or any
 // status other than 200/429).
 //
+// With -chaos (requires -ephemeral and match-any traffic) the run
+// doubles as a fault-tolerance smoke test: the ephemeral daemon gets a
+// snapshot directory with a planted corrupt snapshot (quarantined at
+// warm restart) and a deterministic fault schedule seeded from -seed
+// that fails every Nth fleet match, so a slice of /v1/match-any
+// responses comes back degraded. The run then hard-fails unless every
+// response was 200/429 (no 5xx, no panic), at least one degraded
+// response was observed, the server's ctxmatchd_degraded_total moved
+// monotonically and never under-counted the client's observations, and
+// ctxmatchd_snapshot_quarantined_total recorded the planted file.
+//
 // The pacing loop is open-loop: requests launch on a fixed interval
 // regardless of in-flight completions, up to -workers concurrent; when
 // all workers are busy the tick is counted as dropped rather than
@@ -37,8 +48,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -46,6 +59,7 @@ import (
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
+	"ctxmatch/internal/fault"
 	"ctxmatch/internal/service"
 )
 
@@ -62,6 +76,7 @@ type config struct {
 	seedCatalogs int
 	failOnError  bool
 	jsonOut      bool
+	chaos        bool
 }
 
 func parseConfig(args []string, w io.Writer) (*config, error) {
@@ -80,6 +95,7 @@ func parseConfig(args []string, w io.Writer) (*config, error) {
 	fs.IntVar(&cfg.seedCatalogs, "seed-catalogs", 3, "catalogs to prepare into the ephemeral daemon")
 	fs.BoolVar(&cfg.failOnError, "fail-on-error", false, "exit non-zero on any transport error or status other than 200/429")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON instead of text")
+	fs.BoolVar(&cfg.chaos, "chaos", false, "inject a seeded fault schedule into the ephemeral daemon and assert graceful degradation (implies -fail-on-error)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -97,6 +113,15 @@ func parseConfig(args []string, w io.Writer) (*config, error) {
 	if cfg.rps <= 0 {
 		return nil, fmt.Errorf("-rps must be positive")
 	}
+	if cfg.chaos {
+		if !cfg.ephemeral {
+			return nil, fmt.Errorf("-chaos requires -ephemeral (faults are injected in-process)")
+		}
+		if cfg.mode == "match" {
+			return nil, fmt.Errorf("-chaos needs match-any traffic (-mode match-any or mixed)")
+		}
+		cfg.failOnError = true
+	}
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
@@ -110,6 +135,7 @@ type summary struct {
 	Dropped     int            `json:"dropped"`
 	RateLimited int            `json:"rate_limited"`
 	Errors      int            `json:"errors"`
+	Degraded    int            `json:"degraded,omitempty"`
 	ByStatus    map[string]int `json:"by_status"`
 	P50ms       float64        `json:"p50_ms"`
 	P95ms       float64        `json:"p95_ms"`
@@ -129,19 +155,49 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // startEphemeral boots an in-process daemon on a loopback port, seeds
 // seedCatalogs prepared catalogs named loadgen0.. into it, and returns
-// its base URL plus a shutdown func.
+// its base URL plus a shutdown func. With -chaos it additionally arms
+// the deterministic fault schedule: a planted corrupt snapshot that
+// the warm restart must quarantine, a torn first flush the crash-safe
+// store must survive, and an every-Nth fleet-match failure (N seeded
+// from -seed) that forces a slice of match-any traffic to degrade.
 func startEphemeral(ctx context.Context, cfg *config, log *slog.Logger) (string, func(), error) {
 	matcher, err := ctxmatch.New(ctxmatch.WithSeed(cfg.seed))
 	if err != nil {
 		return "", nil, err
 	}
-	svc, err := service.New(service.Config{
+	scfg := service.Config{
 		Matcher:     matcher,
 		MaxCatalogs: cfg.seedCatalogs + 1,
 		Logger:      log,
-	})
+	}
+	var reg *fault.Registry
+	chaosDir := ""
+	if cfg.chaos {
+		reg = fault.NewRegistry()
+		dir, err := os.MkdirTemp("", "loadgen-chaos-*")
+		if err != nil {
+			return "", nil, err
+		}
+		chaosDir = dir
+		// Plant what a crash leaves behind: a corrupt snapshot to
+		// quarantine and temp-file litter to sweep.
+		if err := os.WriteFile(filepath.Join(dir, "planted.snap"), []byte("definitely not a snapshot"), 0o644); err != nil {
+			return "", nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, ".snap-crashed"), []byte("partial"), 0o644); err != nil {
+			return "", nil, err
+		}
+		scfg.SnapshotDir = dir
+		scfg.Faults = reg
+	}
+	svc, err := service.New(scfg)
 	if err != nil {
 		return "", nil, err
+	}
+	if cfg.chaos {
+		if _, err := svc.RestoreSnapshots(); err != nil {
+			return "", nil, fmt.Errorf("chaos warm restart: %w", err)
+		}
 	}
 	targets := []datagen.TargetSchema{datagen.Aaron, datagen.Barrett, datagen.Ryan}
 	for i := 0; i < cfg.seedCatalogs; i++ {
@@ -154,13 +210,52 @@ func startEphemeral(ctx context.Context, cfg *config, log *slog.Logger) (string,
 			return "", nil, fmt.Errorf("seeding catalog %s: %w", name, err)
 		}
 	}
+	if cfg.chaos {
+		// Tear the first flush write; the store must keep the directory
+		// consistent, and a second flush on the healed disk must land
+		// every seeded catalog.
+		reg.Set("fs.write", fault.Plan{FailNth: 1, TornAfter: 64})
+		_ = svc.FlushSnapshots()
+		reg.Clear("fs.write")
+		if err := svc.FlushSnapshots(); err != nil {
+			return "", nil, fmt.Errorf("chaos flush after torn write: %w", err)
+		}
+		period := 3 + int(cfg.seed%5)
+		reg.Set("fleet.match", fault.Plan{FailNth: period, Every: true, Latency: 2 * time.Millisecond})
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+	shutdown := func() {
+		_ = srv.Close()
+		if chaosDir != "" {
+			_ = os.RemoveAll(chaosDir)
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// scrapeMetricValue reads one un-labeled metric family's value off the
+// daemon's /metrics exposition.
+func scrapeMetricValue(client *http.Client, base, name string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not exposed", name)
 }
 
 // sourceBody builds the JSON bodies the two endpoints consume, from
@@ -222,7 +317,7 @@ func run(ctx context.Context, cfg *config, log *slog.Logger, out io.Writer) (*su
 		sum       = &summary{ByStatus: map[string]int{}}
 	)
 	client := &http.Client{Timeout: 60 * time.Second}
-	record := func(status int, d time.Duration, err error) {
+	record := func(status int, d time.Duration, err error, degraded bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		sum.Requests++
@@ -238,7 +333,42 @@ func run(ctx context.Context, cfg *config, log *slog.Logger, out io.Writer) (*su
 		case status != http.StatusOK:
 			sum.Errors++
 		}
+		if degraded {
+			sum.Degraded++
+		}
 		latencies = append(latencies, d)
+	}
+
+	// In chaos mode a sidecar scraper verifies the server's degraded
+	// accounting only ever moves forward while the load runs.
+	var monErr error
+	monDone := make(chan struct{})
+	monStopped := make(chan struct{})
+	if cfg.chaos {
+		go func() {
+			defer close(monStopped)
+			last := -1.0
+			tick := time.NewTicker(250 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-monDone:
+					return
+				case <-tick.C:
+				}
+				v, err := scrapeMetricValue(client, base, "ctxmatchd_degraded_total")
+				if err != nil {
+					continue
+				}
+				if v < last {
+					monErr = fmt.Errorf("ctxmatchd_degraded_total moved backwards: %v -> %v", last, v)
+					return
+				}
+				last = v
+			}
+		}()
+	} else {
+		close(monStopped)
 	}
 
 	sem := make(chan struct{}, cfg.workers)
@@ -274,15 +404,23 @@ loop:
 			t0 := time.Now()
 			resp, err := client.Post(j.url, "application/json", bytes.NewReader(j.body))
 			if err != nil {
-				record(0, 0, err)
+				record(0, 0, err, false)
 				return
 			}
-			_, _ = io.Copy(io.Discard, resp.Body)
+			degraded := false
+			if cfg.chaos && j.url == matchAnyURL {
+				b, _ := io.ReadAll(resp.Body)
+				degraded = bytes.Contains(b, []byte(`"degraded":true`))
+			} else {
+				_, _ = io.Copy(io.Discard, resp.Body)
+			}
 			resp.Body.Close()
-			record(resp.StatusCode, time.Since(t0), nil)
+			record(resp.StatusCode, time.Since(t0), nil, degraded)
 		}(pick(i))
 	}
 	wg.Wait()
+	close(monDone)
+	<-monStopped
 	elapsed := time.Since(start)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -304,8 +442,8 @@ loop:
 		}
 	} else {
 		fmt.Fprintf(out, "mode=%s target=%s rps_target=%.1f duration=%s\n", cfg.mode, base, cfg.rps, cfg.duration)
-		fmt.Fprintf(out, "requests=%d dropped=%d rate_limited=%d errors=%d achieved_rps=%.1f\n",
-			sum.Requests, sum.Dropped, sum.RateLimited, sum.Errors, sum.AchievedRPS)
+		fmt.Fprintf(out, "requests=%d dropped=%d rate_limited=%d errors=%d degraded=%d achieved_rps=%.1f\n",
+			sum.Requests, sum.Dropped, sum.RateLimited, sum.Errors, sum.Degraded, sum.AchievedRPS)
 		fmt.Fprintf(out, "latency_ms p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 			sum.P50ms, sum.P95ms, sum.P99ms, sum.MaxMs)
 		for status, n := range sum.ByStatus {
@@ -317,6 +455,34 @@ loop:
 	}
 	if sum.Requests == 0 {
 		return sum, fmt.Errorf("no requests completed")
+	}
+	if cfg.chaos {
+		// The chaos verdict, scraped while the ephemeral daemon is still
+		// up: the fault schedule actually fired, degradation was graceful
+		// (zero 5xx is already enforced above), the server's accounting
+		// is monotone and never under-counts the client's observations,
+		// and the planted corrupt snapshot was quarantined.
+		if monErr != nil {
+			return sum, monErr
+		}
+		if sum.Degraded == 0 {
+			return sum, fmt.Errorf("chaos run saw no degraded match-any responses; the fault schedule never fired")
+		}
+		deg, err := scrapeMetricValue(client, base, "ctxmatchd_degraded_total")
+		if err != nil {
+			return sum, err
+		}
+		if deg < float64(sum.Degraded) {
+			return sum, fmt.Errorf("degraded accounting: server counted %v, client observed %d", deg, sum.Degraded)
+		}
+		quar, err := scrapeMetricValue(client, base, "ctxmatchd_snapshot_quarantined_total")
+		if err != nil {
+			return sum, err
+		}
+		if quar < 1 {
+			return sum, fmt.Errorf("planted corrupt snapshot was not quarantined (quarantined_total = %v)", quar)
+		}
+		fmt.Fprintf(out, "chaos: degraded=%d server_degraded_total=%v quarantined_total=%v\n", sum.Degraded, deg, quar)
 	}
 	return sum, nil
 }

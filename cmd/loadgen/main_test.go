@@ -17,11 +17,20 @@ func TestParseConfig(t *testing.T) {
 	if !cfg.ephemeral || cfg.rps != 5 || cfg.mode != "mixed" {
 		t.Errorf("cfg = %+v", cfg)
 	}
+	chaosCfg, err := parseConfig([]string{"-ephemeral", "-chaos", "-mode", "match-any"}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig chaos: %v", err)
+	}
+	if !chaosCfg.chaos || !chaosCfg.failOnError {
+		t.Errorf("-chaos must imply -fail-on-error: %+v", chaosCfg)
+	}
 	for _, bad := range [][]string{
 		{"-mode", "chaos"},
 		{"-rps", "0", "-ephemeral"},
-		{},                       // no -addr, no -ephemeral
-		{"-addr", ":0", "stray"}, // stray positional
+		{},                        // no -addr, no -ephemeral
+		{"-addr", ":0", "stray"},  // stray positional
+		{"-chaos", "-addr", ":0"}, // chaos without ephemeral
+		{"-chaos", "-ephemeral", "-mode", "match"}, // chaos without match-any traffic
 	} {
 		if _, err := parseConfig(append([]string{}, bad...), io.Discard); err == nil {
 			t.Errorf("parseConfig(%v) succeeded, want error", bad)
@@ -56,6 +65,37 @@ func TestEphemeralSmoke(t *testing.T) {
 	}
 	if sum.P50ms <= 0 || sum.P99ms < sum.P50ms {
 		t.Fatalf("implausible percentiles: %+v", sum)
+	}
+}
+
+// TestChaosSmoke is the fault-tolerance smoke CI runs: seeded fault
+// schedule, planted corrupt snapshot, and the requirement that the
+// daemon degrades gracefully — some match-any responses degraded, zero
+// 5xx, monotone server-side accounting, quarantine recorded.
+func TestChaosSmoke(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-ephemeral", "-chaos", "-mode", "mixed", "-rps", "30",
+		"-duration", "2s", "-seed-catalogs", "3", "-seed", "7",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	var out strings.Builder
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sum, err := run(ctx, cfg, log, &out)
+	if err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out.String())
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("chaos run produced hard errors: %+v\n%s", sum, out.String())
+	}
+	if sum.Degraded == 0 {
+		t.Fatalf("chaos run never degraded: %+v\n%s", sum, out.String())
+	}
+	if !strings.Contains(out.String(), "chaos: degraded=") {
+		t.Fatalf("chaos verdict line missing:\n%s", out.String())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
@@ -144,7 +145,7 @@ func BenchmarkRetrieve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		scores := retrieve(entries, src, 3, 0)
+		scores := retrieve(entries, src, 3, 0, time.Time{})
 		if len(scores) != len(entries) {
 			b.Fatal("short score list")
 		}

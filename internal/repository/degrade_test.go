@@ -1,0 +1,349 @@
+package repository
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"ctxmatch"
+	"ctxmatch/internal/fault"
+)
+
+// resultJSON canonicalizes a match result for bit-identity comparison:
+// the wall-clock Elapsed is zeroed, everything the matcher decided is
+// kept verbatim.
+func resultJSON(t *testing.T, res *ctxmatch.Result) string {
+	t.Helper()
+	c := *res
+	c.Elapsed = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatalf("marshaling result: %v", err)
+	}
+	return string(b)
+}
+
+// TestDegradedBitIdentical is the acceptance property of degraded
+// match-any: with a fault injected into one catalog's exact match, the
+// response must carry exactly that catalog in Skipped (reason "error")
+// and every completed catalog's Result must be bit-identical to the
+// fault-free response restricted to those catalogs.
+func TestDegradedBitIdentical(t *testing.T) {
+	f := newTestFleet(t, 1)
+	src := sharedFleet(t).datasets["aaron-1"].Source
+
+	full, err := f.MatchAny(context.Background(), src, Query{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded || len(full.Skipped) != 0 {
+		t.Fatalf("fault-free report degraded: %+v", full.Skipped)
+	}
+	fullByName := map[string]string{}
+	for _, cm := range full.Ranked {
+		fullByName[cm.Name] = resultJSON(t, cm.Result)
+	}
+
+	reg := fault.NewRegistry()
+	reg.Set("fleet.match", fault.Plan{FailNth: 2})
+	f.InjectFaults(reg)
+	defer f.InjectFaults(nil)
+
+	rep, err := f.MatchAny(context.Background(), src, Query{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || len(rep.Skipped) != 1 {
+		t.Fatalf("degraded=%v skipped=%+v, want exactly one skip", rep.Degraded, rep.Skipped)
+	}
+	sk := rep.Skipped[0]
+	if sk.Reason != ReasonError || sk.Detail == "" {
+		t.Fatalf("skip = %+v, want reason %q with detail", sk, ReasonError)
+	}
+	if len(rep.Ranked)+1 != len(full.Ranked) {
+		t.Fatalf("degraded ranked %d + 1 skip != full ranked %d", len(rep.Ranked), len(full.Ranked))
+	}
+	for _, cm := range rep.Ranked {
+		if cm.Name == sk.Name {
+			t.Fatalf("catalog %s both ranked and skipped", cm.Name)
+		}
+		want, ok := fullByName[cm.Name]
+		if !ok {
+			t.Fatalf("degraded response ranked %s, absent from the full response", cm.Name)
+		}
+		if got := resultJSON(t, cm.Result); got != want {
+			t.Errorf("catalog %s: degraded result diverged from the full response", cm.Name)
+		}
+	}
+	if rep.Matched != len(rep.Ranked) {
+		t.Errorf("Matched = %d, want %d", rep.Matched, len(rep.Ranked))
+	}
+}
+
+// TestFaultScheduleDeterminism: the same seeded schedule produces the
+// same skipped set, run after run.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	src := sharedFleet(t).datasets["ryan-1"].Source
+	run := func() []SkippedCatalog {
+		f := newTestFleet(t, 1)
+		reg := fault.NewRegistry()
+		reg.Set("fleet.match", fault.Plan{FailNth: 2, Every: true})
+		f.InjectFaults(reg)
+		rep, err := f.MatchAny(context.Background(), src, Query{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Skipped
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("skipped sets diverged across identical runs:\n%s\n%s", aj, bj)
+	}
+	if len(a) == 0 {
+		t.Fatal("every-2nd schedule skipped nothing")
+	}
+}
+
+// TestExpiredDeadlineDegrades: a request whose deadline already passed
+// gets a degraded 200-style report — every catalog skipped with a
+// budget reason — never an error.
+func TestExpiredDeadlineDegrades(t *testing.T) {
+	f := newTestFleet(t, 1)
+	src := sharedFleet(t).datasets["aaron-1"].Source
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	rep, err := f.MatchAny(ctx, src, Query{K: 4})
+	if err != nil {
+		t.Fatalf("expired deadline returned an error: %v", err)
+	}
+	if !rep.Degraded || len(rep.Ranked) != 0 {
+		t.Fatalf("expired deadline: degraded=%v ranked=%d", rep.Degraded, len(rep.Ranked))
+	}
+	if len(rep.Skipped) == 0 {
+		t.Fatal("expired deadline skipped nothing")
+	}
+	for _, sk := range rep.Skipped {
+		switch sk.Reason {
+		case ReasonRetrieveBudget, ReasonDeadline, ReasonCanceled:
+		default:
+			t.Fatalf("unexpected skip reason %q: %+v", sk.Reason, sk)
+		}
+	}
+}
+
+// TestBreakerLifecycle drives one catalog's breaker through its whole
+// arc: failures up to the threshold open it, while open the catalog is
+// skipped without a match attempt, after the cooldown a half-open
+// trial runs — and a successful trial closes the breaker.
+func TestBreakerLifecycle(t *testing.T) {
+	f := newTestFleet(t, 1)
+	f.SetBreaker(BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond})
+	src := sharedFleet(t).datasets["aaron-1"].Source
+	reg := fault.NewRegistry()
+	reg.Set("fleet.match", fault.Plan{FailNth: 1, Every: true})
+	f.InjectFaults(reg)
+
+	skippedReasons := func() map[string]string {
+		rep, err := f.MatchAny(context.Background(), src, Query{K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		for _, sk := range rep.Skipped {
+			out[sk.Name] = sk.Reason
+		}
+		return out
+	}
+
+	// Two failing rounds reach the threshold for every survivor.
+	first := skippedReasons()
+	if len(first) == 0 {
+		t.Fatal("failing round skipped nothing")
+	}
+	for name, reason := range first {
+		if reason != ReasonError {
+			t.Fatalf("round 1: %s skipped with %q, want %q", name, reason, ReasonError)
+		}
+	}
+	second := skippedReasons()
+	hitsAfterOpen := reg.Hits("fleet.match")
+
+	// Breakers are open: the catalogs are skipped without consulting
+	// the match point at all.
+	third := skippedReasons()
+	for name := range second {
+		if third[name] != ReasonBreakerOpen {
+			t.Fatalf("round 3: %s skipped with %q, want %q (%v)", name, third[name], ReasonBreakerOpen, third)
+		}
+	}
+	if got := reg.Hits("fleet.match"); got != hitsAfterOpen {
+		t.Fatalf("open breaker still attempted matches: hits %d -> %d", hitsAfterOpen, got)
+	}
+	if f.OpenBreakers() == 0 {
+		t.Fatal("OpenBreakers = 0 with open breakers")
+	}
+
+	// Past the cooldown the trial runs; with the fault cleared it
+	// succeeds and the breaker closes.
+	time.Sleep(60 * time.Millisecond)
+	reg.Clear("fleet.match")
+	rep, err := f.MatchAny(context.Background(), src, Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || len(rep.Ranked) == 0 {
+		t.Fatalf("post-cooldown trial: degraded=%v ranked=%d", rep.Degraded, len(rep.Ranked))
+	}
+	if f.OpenBreakers() != 0 {
+		t.Fatalf("OpenBreakers = %d after successful trials, want 0", f.OpenBreakers())
+	}
+}
+
+// TestBreakerReopensOnFailedTrial: a failing half-open trial re-opens
+// the breaker for another cooldown.
+func TestBreakerReopensOnFailedTrial(t *testing.T) {
+	f := newTestFleet(t, 1)
+	f.SetBreaker(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond})
+	now := time.Now()
+	f.breakerRecord("x", true, now)
+	if f.breakerAllow("x", now) {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	// Cooldown elapsed: the trial is allowed, its failure re-opens.
+	later := now.Add(40 * time.Millisecond)
+	if !f.breakerAllow("x", later) {
+		t.Fatal("half-open trial refused after cooldown")
+	}
+	f.breakerRecord("x", true, later)
+	if f.breakerAllow("x", later.Add(time.Millisecond)) {
+		t.Fatal("breaker closed again right after a failed trial")
+	}
+	// Success closes it for good.
+	trial2 := later.Add(40 * time.Millisecond)
+	if !f.breakerAllow("x", trial2) {
+		t.Fatal("second trial refused")
+	}
+	f.breakerRecord("x", false, trial2)
+	if !f.breakerAllow("x", trial2.Add(time.Nanosecond)) {
+		t.Fatal("breaker open after a successful trial")
+	}
+}
+
+// TestDisabledBreakerNeverOpens: Threshold < 0 turns breakers off.
+func TestDisabledBreakerNeverOpens(t *testing.T) {
+	f := NewFleet()
+	f.SetBreaker(BreakerConfig{Threshold: -1})
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		f.breakerRecord("x", true, now)
+	}
+	if !f.breakerAllow("x", now) {
+		t.Fatal("disabled breaker opened")
+	}
+	if f.OpenBreakers() != 0 {
+		t.Fatalf("OpenBreakers = %d with breakers disabled", f.OpenBreakers())
+	}
+}
+
+// TestRemovedClearsBreakerState: eviction drops a catalog's failure
+// history, so a re-install starts with a closed breaker.
+func TestRemovedClearsBreakerState(t *testing.T) {
+	f := newTestFleet(t, 1)
+	f.SetBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	now := time.Now()
+	f.breakerRecord("aaron-1", true, now)
+	if f.breakerAllow("aaron-1", now) {
+		t.Fatal("breaker still closed")
+	}
+	f.Removed("aaron-1")
+	if !f.breakerAllow("aaron-1", now) {
+		t.Fatal("breaker state survived Removed")
+	}
+}
+
+// TestCompactionDoesNotBlockMatchAny: with a writer parked on the
+// fleet lock (the worst case of a fused-index compaction), MatchAny
+// must still answer — via the per-catalog fallback over the last
+// published entry snapshot — with results identical to the fused path,
+// not time out waiting for the lock.
+func TestCompactionDoesNotBlockMatchAny(t *testing.T) {
+	f := newTestFleet(t, 1)
+	src := sharedFleet(t).datasets["aaron-1"].Source
+
+	want, err := f.MatchAny(context.Background(), src, Query{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.Bypasses()
+
+	// Park a writer on the fleet lock, exactly what a long compaction
+	// inside Installed looks like to readers.
+	f.mu.Lock()
+	done := make(chan *Report, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rep, err := f.MatchAny(ctx, src, Query{K: 3})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	var rep *Report
+	select {
+	case rep = <-done:
+	case <-time.After(10 * time.Second):
+		f.mu.Unlock()
+		t.Fatal("MatchAny blocked behind the fleet write lock")
+	}
+	f.mu.Unlock()
+
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if got := f.Bypasses(); got != before+1 {
+		t.Fatalf("Bypasses = %d, want %d", got, before+1)
+	}
+	if rep.Degraded {
+		t.Fatalf("fallback path degraded the response: %+v", rep.Skipped)
+	}
+	if len(rep.Ranked) != len(want.Ranked) {
+		t.Fatalf("fallback ranked %d, fused %d", len(rep.Ranked), len(want.Ranked))
+	}
+	for i := range rep.Ranked {
+		if rep.Ranked[i].Name != want.Ranked[i].Name {
+			t.Fatalf("fallback rank %d = %s, fused %s", i, rep.Ranked[i].Name, want.Ranked[i].Name)
+		}
+		if got, w := resultJSON(t, rep.Ranked[i].Result), resultJSON(t, want.Ranked[i].Result); got != w {
+			t.Errorf("catalog %s: fallback result diverged from fused path", rep.Ranked[i].Name)
+		}
+	}
+}
+
+// TestErrorsDoNotAbortSiblings: an injected failure on one catalog
+// leaves an errors.Is-able detail and the siblings matched — the old
+// isolated-failure contract, now expressed through Skipped.
+func TestErrorsDoNotAbortSiblings(t *testing.T) {
+	f := newTestFleet(t, 1)
+	src := sharedFleet(t).datasets["barrett-2"].Source
+	sentinel := errors.New("backend lost")
+	reg := fault.NewRegistry()
+	reg.Set("fleet.match", fault.Plan{FailNth: 1, Err: sentinel})
+	f.InjectFaults(reg)
+
+	rep, err := f.MatchAny(context.Background(), src, Query{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 1 || rep.Skipped[0].Detail != sentinel.Error() {
+		t.Fatalf("skipped = %+v, want one %q detail", rep.Skipped, sentinel)
+	}
+	if len(rep.Ranked) == 0 {
+		t.Fatal("sibling catalogs did not survive an isolated failure")
+	}
+}

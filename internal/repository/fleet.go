@@ -31,12 +31,16 @@ package repository
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ctxmatch"
+	"ctxmatch/internal/fault"
 	"ctxmatch/internal/match"
 	"ctxmatch/internal/tokenize"
 )
@@ -76,10 +80,26 @@ type Fleet struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	fused   *tokenize.FusedIndex
+
+	// snap is the last published name-ordered entry slice, maintained
+	// by Installed/Removed under the write lock and read lock-free, so
+	// retrievals never queue behind a fused-index compaction.
+	snap atomic.Pointer[[]*Entry]
+	// bypasses counts retrievals served by the per-catalog fallback
+	// path because a writer held the fleet lock.
+	bypasses atomic.Int64
+
+	// faults, when non-nil, is consulted at the "fleet.match" point
+	// before each per-catalog exact match. Set before serving traffic.
+	faults *fault.Registry
+
+	bmu     sync.Mutex
+	breaker BreakerConfig
+	bstate  map[string]*breakerState
 }
 
 // NewFleet returns an empty fleet with the default fused-index
-// compaction threshold.
+// compaction threshold and default circuit-breaker tuning.
 func NewFleet() *Fleet {
 	return newFleetCompact(0)
 }
@@ -91,8 +111,15 @@ func newFleetCompact(threshold int) *Fleet {
 	return &Fleet{
 		entries: map[string]*Entry{},
 		fused:   tokenize.NewFusedIndex(threshold),
+		breaker: BreakerConfig{}.normalize(),
+		bstate:  map[string]*breakerState{},
 	}
 }
+
+// InjectFaults installs a fault-injection registry consulted at the
+// "fleet.match" point before every per-catalog exact match. A nil
+// registry (the default) injects nothing. Call before serving traffic.
+func (f *Fleet) InjectFaults(reg *fault.Registry) { f.faults = reg }
 
 // Installed publishes (or atomically replaces) the entry for name and
 // fuses its candidate index into the registry-global index. It is
@@ -114,6 +141,7 @@ func (f *Fleet) Installed(name string, generation int, t *ctxmatch.Target) {
 		e.slot = f.fused.Install(e.feats.Dict(), ix)
 	}
 	f.entries[name] = e
+	f.publishLocked()
 	f.mu.Unlock()
 }
 
@@ -128,15 +156,17 @@ func (f *Fleet) Removed(name string) {
 		f.fused.Remove(old.slot)
 	}
 	delete(f.entries, name)
+	f.publishLocked()
 	f.mu.Unlock()
+	// An evicted catalog's failure history goes with it; a future
+	// re-install starts with a closed breaker.
+	f.bmu.Lock()
+	delete(f.bstate, name)
+	f.bmu.Unlock()
 }
 
 // Len returns how many catalogs the fleet currently indexes.
-func (f *Fleet) Len() int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return len(f.entries)
-}
+func (f *Fleet) Len() int { return len(f.Entries()) }
 
 // FusedStats is the fused index's size-and-effectiveness snapshot,
 // re-exported so the serving layer can surface it without reaching
@@ -150,24 +180,143 @@ func (f *Fleet) FusedStats() tokenize.FusedStats {
 	return f.fused.Stats()
 }
 
-// entriesLocked snapshots the installed catalogs in ascending name
-// order — the deterministic base order of every retrieval. Callers
-// hold at least the read lock.
-func (f *Fleet) entriesLocked() []*Entry {
+// publishLocked rebuilds the lock-free entry snapshot from the entry
+// map. Callers hold the write lock.
+func (f *Fleet) publishLocked() {
 	out := make([]*Entry, 0, len(f.entries))
 	for _, e := range f.entries {
 		out = append(out, e)
 	}
 	slices.SortFunc(out, func(a, b *Entry) int { return strings.Compare(a.Name, b.Name) })
-	return out
+	f.snap.Store(&out)
 }
 
-// Entries snapshots the installed catalogs in ascending name order.
-func (f *Fleet) Entries() []*Entry {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.entriesLocked()
+// entriesLocked returns the installed catalogs in ascending name
+// order — the deterministic base order of every retrieval. Callers
+// hold at least the read lock.
+func (f *Fleet) entriesLocked() []*Entry {
+	if p := f.snap.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
+
+// Entries returns the installed catalogs in ascending name order: the
+// last published immutable snapshot, read without taking the fleet
+// lock so callers never queue behind an install or a fused-index
+// compaction.
+func (f *Fleet) Entries() []*Entry {
+	if p := f.snap.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Default circuit-breaker tuning: a catalog whose exact match fails
+// this many times in a row is skipped (reason "breaker_open") for the
+// cooldown, after which one trial match is let through (half-open) —
+// success closes the breaker, failure re-opens it for another
+// cooldown.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// BreakerConfig tunes the per-catalog circuit breakers that keep a
+// persistently failing catalog from burning the fleet's match budget.
+type BreakerConfig struct {
+	// Threshold is how many consecutive match failures open a
+	// catalog's breaker; < 0 disables breakers entirely, 0 selects
+	// DefaultBreakerThreshold.
+	Threshold int
+	// Cooldown is how long an open breaker skips its catalog before
+	// letting one trial match through; 0 selects
+	// DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) normalize() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultBreakerThreshold
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = DefaultBreakerCooldown
+	}
+	return c
+}
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+}
+
+// SetBreaker reconfigures the circuit breakers and resets all breaker
+// state. Call before serving traffic.
+func (f *Fleet) SetBreaker(cfg BreakerConfig) {
+	f.bmu.Lock()
+	f.breaker = cfg.normalize()
+	f.bstate = map[string]*breakerState{}
+	f.bmu.Unlock()
+}
+
+// breakerAllow reports whether name's breaker admits a match attempt:
+// closed, or open but past its cooldown (the half-open trial).
+func (f *Fleet) breakerAllow(name string, now time.Time) bool {
+	f.bmu.Lock()
+	defer f.bmu.Unlock()
+	if f.breaker.Threshold < 0 {
+		return true
+	}
+	st := f.bstate[name]
+	if st == nil || st.fails < f.breaker.Threshold {
+		return true
+	}
+	return !now.Before(st.openUntil)
+}
+
+// breakerRecord feeds one match outcome into name's breaker: success
+// closes it, the Threshold-th consecutive failure opens it for the
+// cooldown (and a failed half-open trial re-opens it).
+func (f *Fleet) breakerRecord(name string, failed bool, now time.Time) {
+	f.bmu.Lock()
+	defer f.bmu.Unlock()
+	if f.breaker.Threshold < 0 {
+		return
+	}
+	if !failed {
+		delete(f.bstate, name)
+		return
+	}
+	st := f.bstate[name]
+	if st == nil {
+		st = &breakerState{}
+		f.bstate[name] = st
+	}
+	st.fails++
+	if st.fails >= f.breaker.Threshold {
+		st.openUntil = now.Add(f.breaker.Cooldown)
+	}
+}
+
+// OpenBreakers counts catalogs whose circuit breaker is currently open
+// (inside its cooldown) — the serving layer's ctxmatchd_breaker_open
+// gauge.
+func (f *Fleet) OpenBreakers() int {
+	f.bmu.Lock()
+	defer f.bmu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, st := range f.bstate {
+		if st.fails >= f.breaker.Threshold && now.Before(st.openUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// Bypasses counts retrievals served by the per-catalog fallback path
+// because a writer (install, removal, compaction) held the fleet lock.
+func (f *Fleet) Bypasses() int64 { return f.bypasses.Load() }
 
 // DefaultK is the survivor count when a query does not set one.
 const DefaultK = 3
@@ -205,6 +354,10 @@ type CatalogScore struct {
 	// Unindexed reports the catalog carries no candidate index and
 	// therefore bypassed retrieval (it always survives).
 	Unindexed bool `json:"unindexed,omitempty"`
+	// Skipped reports the retrieval stage's deadline budget expired
+	// before this catalog was scored; it takes no part in survivor
+	// selection and is listed in the report's Skipped set.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // CatalogMatch is one survivor's exact match outcome.
@@ -221,44 +374,88 @@ type CatalogMatch struct {
 	// Result is the full prepared-match result — bit-identical to a
 	// direct Target.Match of the same source.
 	Result *ctxmatch.Result
-	// Err is the isolated failure of this catalog's match, leaving
-	// sibling catalogs unaffected; Result is then nil.
-	Err error
+}
+
+// Skip reasons reported for catalogs a degraded match-any left out.
+const (
+	// ReasonRetrieveBudget: the retrieval stage's share of the request
+	// deadline expired before this catalog was scored.
+	ReasonRetrieveBudget = "retrieve_budget"
+	// ReasonDeadline: the request deadline expired before or during
+	// this catalog's exact match.
+	ReasonDeadline = "deadline"
+	// ReasonCanceled: the request was canceled mid-flight.
+	ReasonCanceled = "canceled"
+	// ReasonBreakerOpen: the catalog's circuit breaker was open after
+	// repeated failures, so no match was attempted.
+	ReasonBreakerOpen = "breaker_open"
+	// ReasonError: this catalog's match failed in isolation; Detail
+	// carries the error text.
+	ReasonError = "error"
+)
+
+// SkippedCatalog names one catalog a degraded match-any did not
+// exact-match, and why.
+type SkippedCatalog struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // Report is the outcome of one MatchAny: the exact-matched survivors in
 // rank order plus the retrieval scores of every considered catalog.
 type Report struct {
-	// Ranked holds the survivors' exact match outcomes, best first
-	// (score descending, failed matches last, ties by name).
+	// Ranked holds the completed survivors' exact match outcomes, best
+	// first (score descending, ties by name). Every entry carries a
+	// full Result bit-identical to a direct Target.Match; catalogs
+	// that failed or were skipped are in Skipped instead.
 	Ranked []CatalogMatch
 	// Retrieval holds every considered catalog's evidence score,
-	// survivors first in rank order, then pruned catalogs by name.
-	// Empty in Exhaustive mode.
+	// survivors first in rank order, then pruned catalogs by name,
+	// then budget-skipped ones. Empty in Exhaustive mode.
 	Retrieval []CatalogScore
 	// Considered, Pruned and Matched count the catalogs the request
 	// touched: all installed, cut off by the advancing floor, and
 	// exact-matched.
 	Considered, Pruned, Matched int
+	// Degraded reports the answer is partial: at least one catalog was
+	// skipped. Results for completed catalogs are still exact.
+	Degraded bool
+	// Skipped lists the catalogs left out and why, in the order they
+	// were given up on.
+	Skipped []SkippedCatalog
 }
 
-// Best returns the top-ranked successful match, or nil when no catalog
-// matched.
-func (r *Report) Best() *CatalogMatch {
-	for i := range r.Ranked {
-		if r.Ranked[i].Err == nil {
-			return &r.Ranked[i]
-		}
-	}
-	return nil
+func (r *Report) skip(name, reason, detail string) {
+	r.Skipped = append(r.Skipped, SkippedCatalog{Name: name, Reason: reason, Detail: detail})
 }
+
+// Best returns the top-ranked match, or nil when no catalog matched.
+func (r *Report) Best() *CatalogMatch {
+	if len(r.Ranked) == 0 {
+		return nil
+	}
+	return &r.Ranked[0]
+}
+
+// retrieveBudgetDiv is the retrieval stage's share of the remaining
+// request deadline: 1/retrieveBudgetDiv of it, the rest reserved for
+// the exact matches (the expensive stage).
+const retrieveBudgetDiv = 4
 
 // MatchAny answers "which catalogs does this source match, and where?":
 // it retrieves the top-k candidate catalogs by indexed evidence (see
 // the package comment for the pruning invariants), runs the exact
-// prepared match on each survivor, and ranks the outcomes. Per-catalog
-// match failures are isolated in their CatalogMatch; MatchAny itself
-// fails only on an empty source or when ctx dies.
+// prepared match on each survivor, and ranks the outcomes.
+//
+// MatchAny degrades instead of failing. The request deadline (when ctx
+// carries one) is split into stage budgets — retrieval gets a quarter
+// of what remains, the exact matches the rest — and a catalog whose
+// budget ran out, whose match failed in isolation, or whose circuit
+// breaker is open is reported in Report.Skipped with a reason while
+// every completed catalog's Result stays exact and bit-identical to a
+// direct Target.Match. MatchAny itself errors only on an empty source
+// or an invalid query, never on a deadline.
 func (f *Fleet) MatchAny(ctx context.Context, src *ctxmatch.Schema, q Query) (*Report, error) {
 	if src == nil || len(src.Tables) == 0 {
 		return nil, fmt.Errorf("source %w", ctxmatch.ErrEmptySchema)
@@ -271,60 +468,107 @@ func (f *Fleet) MatchAny(ctx context.Context, src *ctxmatch.Schema, q Query) (*R
 	}
 	report := &Report{}
 
+	var deadline, retrieveDeadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+		retrieveDeadline = time.Now().Add(time.Until(d) / retrieveBudgetDiv)
+	}
+
 	var entries, survivors []*Entry
 	var evidence map[string]float64
 	if q.Exhaustive {
 		entries = f.Entries()
 		survivors = entries
 	} else {
+		var scores []CatalogScore
 		// The fused pass reads the unfrozen global dictionary and the
 		// slot table, so it runs under the read lock; the exact matches
 		// below run on the immutable survivor snapshot outside it.
-		f.mu.RLock()
-		entries = f.entriesLocked()
-		scores := f.fusedRetrieve(entries, src, q.K, q.MinScore)
-		f.mu.RUnlock()
+		if f.mu.TryRLock() {
+			entries = f.entriesLocked()
+			scores = f.fusedRetrieve(entries, src, q.K, q.MinScore, retrieveDeadline)
+			f.mu.RUnlock()
+		} else {
+			// A writer holds the fleet — an install, a removal, or a
+			// fused-index compaction. Rather than queue behind it into
+			// the request's deadline, serve this retrieval from the
+			// last published entry snapshot through the per-catalog
+			// path, which touches no fused state and returns the same
+			// survivors and evidence.
+			f.bypasses.Add(1)
+			entries = f.Entries()
+			scores = retrieve(entries, src, q.K, q.MinScore, retrieveDeadline)
+		}
 		report.Retrieval = scores
 		evidence = make(map[string]float64, len(scores))
 		for _, cs := range scores {
-			if cs.Pruned {
+			switch {
+			case cs.Skipped:
+				report.skip(cs.Name, ReasonRetrieveBudget, "")
+			case cs.Pruned:
 				report.Pruned++
-				continue
+			default:
+				evidence[cs.Name] = cs.Evidence
 			}
-			evidence[cs.Name] = cs.Evidence
 		}
 		survivors = pickSurvivors(entries, scores, q.K)
 	}
 	report.Considered = len(entries)
 
-	for _, e := range survivors {
-		cm := CatalogMatch{Name: e.Name, Generation: e.Generation, Evidence: evidence[e.Name]}
-		res, err := e.Target.Match(ctx, src)
+	for i, e := range survivors {
+		now := time.Now()
+		if !deadline.IsZero() && !now.Before(deadline) {
+			for _, rest := range survivors[i:] {
+				report.skip(rest.Name, ReasonDeadline, "")
+			}
+			break
+		}
+		if !f.breakerAllow(e.Name, now) {
+			report.skip(e.Name, ReasonBreakerOpen, "")
+			continue
+		}
+		var res *ctxmatch.Result
+		err := f.faults.Fail("fleet.match")
+		if err == nil {
+			res, err = e.Target.Match(ctx, src)
+		}
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
-				return nil, ctxErr
+				// The request died mid-match: not this catalog's fault
+				// (no breaker record), and nothing after it can run.
+				reason := ReasonDeadline
+				if errors.Is(ctxErr, context.Canceled) {
+					reason = ReasonCanceled
+				}
+				report.skip(e.Name, reason, "")
+				for _, rest := range survivors[i+1:] {
+					report.skip(rest.Name, reason, "")
+				}
+				break
 			}
-			cm.Err = fmt.Errorf("catalog %q: %w", e.Name, err)
-		} else {
-			cm.Result = res
-			cm.Score = aggregateScore(res)
-			report.Matched++
+			f.breakerRecord(e.Name, true, time.Now())
+			report.skip(e.Name, ReasonError, err.Error())
+			continue
 		}
-		report.Ranked = append(report.Ranked, cm)
+		f.breakerRecord(e.Name, false, time.Now())
+		report.Ranked = append(report.Ranked, CatalogMatch{
+			Name:       e.Name,
+			Generation: e.Generation,
+			Evidence:   evidence[e.Name],
+			Score:      aggregateScore(res),
+			Result:     res,
+		})
+		report.Matched++
 	}
 	slices.SortStableFunc(report.Ranked, rankCatalogMatches)
+	report.Degraded = len(report.Skipped) > 0
 	return report, nil
 }
 
-// rankCatalogMatches orders survivors best-first: successful matches
-// before failed ones, higher scores first, ties by name so the ranking
-// is deterministic.
+// rankCatalogMatches orders completed survivors best-first: higher
+// scores first, ties by name so the ranking is deterministic.
 func rankCatalogMatches(a, b CatalogMatch) int {
 	switch {
-	case a.Err == nil && b.Err != nil:
-		return -1
-	case a.Err != nil && b.Err == nil:
-		return 1
 	case a.Score > b.Score:
 		return -1
 	case a.Score < b.Score:
@@ -357,7 +601,7 @@ func pickSurvivors(entries []*Entry, scores []CatalogScore, k int) []*Entry {
 	var out []*Entry
 	taken := 0
 	for _, cs := range scores {
-		if cs.Pruned {
+		if cs.Pruned || cs.Skipped {
 			continue
 		}
 		if cs.Unindexed {

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"ctxmatch"
 	"ctxmatch/internal/datagen"
@@ -165,7 +166,7 @@ func TestRetrievalPruningIsExact(t *testing.T) {
 		src := sharedFleet(t).datasets[srcName].Source
 		// k = fleet size: the floor never exceeds any catalog's evidence,
 		// so nothing is pruned and every evidence value is exact.
-		full := retrieve(entries, src, len(entries), 0)
+		full := retrieve(entries, src, len(entries), 0, time.Time{})
 		exact := map[string]float64{}
 		for _, cs := range full {
 			if cs.Pruned {
@@ -174,7 +175,7 @@ func TestRetrievalPruningIsExact(t *testing.T) {
 			exact[cs.Name] = cs.Evidence
 		}
 		for _, k := range []int{1, 2, 3} {
-			scores := retrieve(entries, src, k, 0)
+			scores := retrieve(entries, src, k, 0, time.Time{})
 			kth := full[k-1].Evidence
 			survivors := 0
 			for _, cs := range scores {
@@ -261,7 +262,7 @@ func TestMatchAnyMinScore(t *testing.T) {
 
 // TestMatchAnyValidation covers the error surface: empty sources and
 // out-of-range MinScore fail structurally, per-catalog failures are
-// isolated, and a dead context fails the request with its error.
+// isolated, and a dead context degrades the report instead of failing.
 func TestMatchAnyValidation(t *testing.T) {
 	f := newTestFleet(t, 1)
 	src := sharedFleet(t).datasets["aaron-1"].Source
@@ -277,10 +278,23 @@ func TestMatchAnyValidation(t *testing.T) {
 			t.Fatalf("MinScore %v: %v, want ErrInvalidOption", ms, err)
 		}
 	}
+	// A dead context no longer fails the request: it degrades. Every
+	// survivor is reported skipped with the cancellation reason and no
+	// exact match runs.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := f.MatchAny(ctx, src, Query{}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("dead context: %v, want context.Canceled", err)
+	rep, err := f.MatchAny(ctx, src, Query{})
+	if err != nil {
+		t.Fatalf("dead context: %v, want a degraded report", err)
+	}
+	if !rep.Degraded || len(rep.Ranked) != 0 || len(rep.Skipped) == 0 {
+		t.Fatalf("dead context report: degraded=%v ranked=%d skipped=%+v",
+			rep.Degraded, len(rep.Ranked), rep.Skipped)
+	}
+	for _, sk := range rep.Skipped {
+		if sk.Reason != ReasonCanceled {
+			t.Fatalf("dead-context skip reason %q, want %q (%+v)", sk.Reason, ReasonCanceled, sk)
+		}
 	}
 }
 
@@ -332,9 +346,12 @@ func TestUnindexedCatalogAlwaysSurvives(t *testing.T) {
 	if plainScore == nil || !plainScore.Unindexed {
 		t.Fatalf("plain catalog not flagged unindexed: %+v", rep.Retrieval)
 	}
+	if rep.Degraded || len(rep.Skipped) != 0 {
+		t.Fatalf("unexpected degradation: %+v", rep.Skipped)
+	}
 	matched := map[string]bool{}
 	for _, cm := range rep.Ranked {
-		matched[cm.Name] = cm.Err == nil
+		matched[cm.Name] = true
 	}
 	if !matched["plain"] {
 		t.Fatalf("unindexed catalog skipped the exact match: %+v", rep.Ranked)
@@ -438,11 +455,9 @@ func TestEvictionDuringMatchAny(t *testing.T) {
 					errs <- err
 					return
 				}
-				for _, cm := range rep.Ranked {
-					if cm.Err != nil {
-						errs <- cm.Err
-						return
-					}
+				for _, sk := range rep.Skipped {
+					errs <- fmt.Errorf("catalog %s skipped: %s %s", sk.Name, sk.Reason, sk.Detail)
+					return
 				}
 			}
 		}()

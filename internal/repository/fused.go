@@ -2,6 +2,7 @@ package repository
 
 import (
 	"sort"
+	"time"
 
 	"ctxmatch"
 	"ctxmatch/internal/tokenize"
@@ -28,10 +29,14 @@ import (
 // order prunes strictly under the same conservative bound, but with a
 // floor that sharpens sooner.
 //
+// A non-zero deadline is the retrieval stage's budget: once it passes,
+// every not-yet-scored indexed catalog is marked Skipped, exactly as in
+// the per-catalog path.
+//
 // Must be called with the fleet's read lock held: the fused pass reads
 // the unfrozen global dictionary and the slot table, which installs
 // mutate under the write lock.
-func (f *Fleet) fusedRetrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64) []CatalogScore {
+func (f *Fleet) fusedRetrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64, deadline time.Time) []CatalogScore {
 	type capProfile struct {
 		cols   []srcColumn
 		bounds [][]float64 // per column, per slot position
@@ -99,6 +104,11 @@ func (f *Fleet) fusedRetrieve(entries []*Entry, src *ctxmatch.Schema, k int, min
 	for _, c := range cands {
 		e := c.e
 		cs := CatalogScore{Name: e.Name, Generation: e.Generation}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			cs.Skipped = true
+			scores = append(scores, cs)
+			continue
+		}
 		ix := e.slot.Index()
 		pos := e.slot.Pos()
 		cols := c.profile.cols
@@ -158,16 +168,7 @@ func (f *Fleet) fusedRetrieve(entries []*Entry, src *ctxmatch.Schema, k int, min
 	}
 	f.fused.CountSkips(skips)
 
-	sort.SliceStable(scores, func(i, j int) bool {
-		a, b := scores[i], scores[j]
-		if a.Pruned != b.Pruned {
-			return !a.Pruned
-		}
-		if a.Evidence != b.Evidence {
-			return a.Evidence > b.Evidence
-		}
-		return a.Name < b.Name
-	})
+	sortCatalogScores(scores)
 	return scores
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"testing"
+	"time"
 
 	"ctxmatch"
 )
@@ -14,7 +15,7 @@ import (
 func fusedScores(f *Fleet, src *ctxmatch.Schema, k int, minScore float64) []CatalogScore {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.fusedRetrieve(f.entriesLocked(), src, k, minScore)
+	return f.fusedRetrieve(f.entriesLocked(), src, k, minScore, time.Time{})
 }
 
 // TestFusedRetrieveAgreesWithLegacy is the fused index's A/B property
@@ -29,13 +30,13 @@ func TestFusedRetrieveAgreesWithLegacy(t *testing.T) {
 	for _, srcName := range []string{"aaron-1", "aaron-scaled", "barrett-2", "ryan-1", "ryan-10k"} {
 		src := sharedFleet(t).datasets[srcName].Source
 		// Unpruned pass: exact evidence for every catalog.
-		full := retrieve(entries, src, len(entries), 0)
+		full := retrieve(entries, src, len(entries), 0, time.Time{})
 		exact := map[string]float64{}
 		for _, cs := range full {
 			exact[cs.Name] = cs.Evidence
 		}
 		for _, k := range []int{1, 2, 3, len(entries)} {
-			legacy := retrieve(entries, src, k, 0)
+			legacy := retrieve(entries, src, k, 0, time.Time{})
 			fused := fusedScores(f, src, k, 0)
 			if len(fused) != len(legacy) {
 				t.Fatalf("%s k=%d: fused scored %d catalogs, legacy %d", srcName, k, len(fused), len(legacy))

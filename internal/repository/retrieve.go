@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"time"
 
 	"ctxmatch"
 	"ctxmatch/internal/relational"
@@ -135,7 +136,12 @@ func (e *Entry) vector(col *srcColumn) *tokenize.IDVector {
 // the whole catalog cannot reach the k-th best evidence and is pruned.
 // Either way every non-pruned catalog's evidence is exact, so the
 // survivor set is the true top-k.
-func retrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64) []CatalogScore {
+//
+// A non-zero deadline is the retrieval stage's budget: once it passes,
+// every not-yet-scored indexed catalog is marked Skipped (unindexed
+// catalogs carry no scan and still pass through), so the caller can
+// degrade instead of blowing the whole request deadline here.
+func retrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64, deadline time.Time) []CatalogScore {
 	// Source profiles are keyed by the catalog's sampling cap; fleets
 	// prepared by one matcher share a single cap, so this usually
 	// extracts once.
@@ -157,6 +163,11 @@ func retrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64) [
 		ix := e.feats.Index()
 		if ix == nil {
 			cs.Unindexed = true
+			scores = append(scores, cs)
+			continue
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			cs.Skipped = true
 			scores = append(scores, cs)
 			continue
 		}
@@ -205,8 +216,20 @@ func retrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64) [
 		scores = append(scores, cs)
 	}
 
+	sortCatalogScores(scores)
+	return scores
+}
+
+// sortCatalogScores orders retrieval outcomes survivors-first
+// (evidence desc, name asc), then pruned catalogs, then
+// budget-skipped ones — the shared presentation order of both
+// retrieval paths.
+func sortCatalogScores(scores []CatalogScore) {
 	sort.SliceStable(scores, func(i, j int) bool {
 		a, b := scores[i], scores[j]
+		if a.Skipped != b.Skipped {
+			return !a.Skipped
+		}
 		if a.Pruned != b.Pruned {
 			return !a.Pruned
 		}
@@ -215,7 +238,6 @@ func retrieve(entries []*Entry, src *ctxmatch.Schema, k int, minScore float64) [
 		}
 		return a.Name < b.Name
 	})
-	return scores
 }
 
 // topK tracks the k best evidence values seen so far; kth reports the

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ctxmatch"
+	"ctxmatch/internal/fault"
 	"ctxmatch/internal/repository"
 )
 
@@ -58,6 +59,20 @@ type Config struct {
 	// RateBurst is the token-bucket capacity per catalog; default
 	// max(1, ceil(2×RateLimit)).
 	RateBurst int
+	// BreakerThreshold is how many consecutive match-any failures open
+	// a catalog's circuit breaker (the catalog is then skipped with
+	// reason "breaker_open" until the cooldown elapses); 0 selects the
+	// repository default (5), < 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker skips its catalog
+	// before letting one trial match through; 0 selects the repository
+	// default (10s).
+	BreakerCooldown time.Duration
+	// Faults, when non-nil, injects deterministic faults into the
+	// snapshot store's filesystem operations and the fleet's
+	// per-catalog match point — the chaos harness and the fault tests.
+	// nil (the default) injects nothing.
+	Faults *fault.Registry
 }
 
 // Server is the ctxmatchd HTTP service: the catalog registry plus the
@@ -70,6 +85,9 @@ type Server struct {
 	log     *slog.Logger
 	cfg     Config
 	sem     chan struct{}
+	// fs is the snapshot store's filesystem — the real one, wrapped
+	// with fault injection when Config.Faults is set.
+	fs fault.FS
 
 	// loading is true during a warm restart: the readiness probe
 	// answers 503 until the snapshot directory has been replayed, so a
@@ -111,7 +129,13 @@ func New(cfg Config) (*Server, error) {
 		limiter: newLimiterSet(cfg.RateLimit, cfg.RateBurst),
 		log:     cfg.Logger,
 		cfg:     cfg,
+		fs:      fault.Inject(fault.OS{}, cfg.Faults),
 	}
+	s.fleet.SetBreaker(repository.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Cooldown:  cfg.BreakerCooldown,
+	})
+	s.fleet.InjectFaults(cfg.Faults)
 	// The fleet observes every registry mutation under the registry's
 	// lock, so /v1/match-any always sees exactly the installed catalogs.
 	s.reg.Observe(s.fleet)
@@ -254,6 +278,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, victim := range evicted {
 		s.log.Info("catalog evicted", "name", victim, "for", name)
+		// The healthy snapshot is kept for a cheap re-restore, but any
+		// quarantined *.corrupt sibling is dead weight.
+		s.removeQuarantined(victim)
 	}
 	s.log.Info("catalog prepared", "name", name, "generation", info.Generation,
 		"prepared_ms", time.Duration(info.PreparedNS).Milliseconds(),
@@ -314,6 +341,9 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.updateTablesTouched.Add(int64(len(delta.Add) + len(delta.Replace) + len(delta.Drop)))
 	for _, victim := range evicted {
 		s.log.Info("catalog evicted", "name", victim, "for", name)
+		// The healthy snapshot is kept for a cheap re-restore, but any
+		// quarantined *.corrupt sibling is dead weight.
+		s.removeQuarantined(victim)
 	}
 	s.log.Info("catalog updated", "name", name, "generation", info.Generation,
 		"updated_ms", time.Duration(info.PreparedNS).Milliseconds(),
@@ -379,6 +409,9 @@ func (s *Server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
 	info, evicted, replaced := s.reg.Install(name, target)
 	for _, victim := range evicted {
 		s.log.Info("catalog evicted", "name", victim, "for", name)
+		// The healthy snapshot is kept for a cheap re-restore, but any
+		// quarantined *.corrupt sibling is dead weight.
+		s.removeQuarantined(victim)
 	}
 	s.log.Info("catalog restored from uploaded snapshot", "name", name,
 		"generation", info.Generation, "bytes", len(body),
@@ -464,27 +497,27 @@ func (s *Server) handleMatchAny(w http.ResponseWriter, r *http.Request) {
 	s.metrics.matchAnyConsidered.Add(int64(rep.Considered))
 	s.metrics.matchAnyPruned.Add(int64(rep.Pruned))
 	s.metrics.matchAnyMatched.Add(int64(rep.Matched))
+	if rep.Degraded {
+		s.metrics.degraded.Inc()
+	}
 	resp := MatchAnyResponse{
 		Catalogs:   make([]MatchAnyCatalog, 0, len(rep.Ranked)),
 		Retrieval:  rep.Retrieval,
 		Considered: rep.Considered,
 		Pruned:     rep.Pruned,
 		Matched:    rep.Matched,
+		Degraded:   rep.Degraded,
+		Skipped:    rep.Skipped,
 	}
 	for _, cm := range rep.Ranked {
-		mc := MatchAnyCatalog{
+		s.metrics.catalogMatches.With(cm.Name).Inc()
+		resp.Catalogs = append(resp.Catalogs, MatchAnyCatalog{
 			Name:       cm.Name,
 			Generation: cm.Generation,
 			Evidence:   cm.Evidence,
 			Score:      cm.Score,
 			Result:     cm.Result,
-		}
-		if cm.Err != nil {
-			mc.Error = cm.Err.Error()
-		} else {
-			s.metrics.catalogMatches.With(cm.Name).Inc()
-		}
-		resp.Catalogs = append(resp.Catalogs, mc)
+		})
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

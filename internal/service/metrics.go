@@ -30,10 +30,12 @@ type serverMetrics struct {
 	matchAnyConsidered *metrics.Counter
 	matchAnyPruned     *metrics.Counter
 	matchAnyMatched    *metrics.Counter
+	degraded           *metrics.Counter
 
 	snapshotRestores       *metrics.Counter
 	snapshotRestoreFailure *metrics.Counter
 	snapshotPersists       *metrics.Counter
+	snapshotQuarantined    *metrics.Counter
 }
 
 // newServerMetrics builds the metric families and wires the
@@ -60,18 +62,28 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Catalogs pruned by the match-any top-k floor without a full scan."),
 		matchAnyMatched: r.NewCounter("ctxmatchd_matchany_catalogs_matched_total",
 			"Catalogs that received the exact prepared match during match-any."),
+		degraded: r.NewCounter("ctxmatchd_degraded_total",
+			"Match-any responses returned degraded: exact results for completed catalogs plus a skipped list."),
 		snapshotRestores: r.NewCounter("ctxmatchd_snapshot_restores_total",
 			"Catalogs restored from persisted snapshots (warm restart)."),
 		snapshotRestoreFailure: r.NewCounter("ctxmatchd_snapshot_restore_failures_total",
 			"Persisted snapshots skipped as unreadable or corrupt during warm restart."),
 		snapshotPersists: r.NewCounter("ctxmatchd_snapshot_persists_total",
 			"Catalog snapshots persisted to the snapshot directory."),
+		snapshotQuarantined: r.NewCounter("ctxmatchd_snapshot_quarantined_total",
+			"Corrupt snapshots quarantined (renamed to *.corrupt) during warm restart."),
 	}
 	m.inFlight = r.NewGauge("ctxmatchd_http_in_flight_requests",
 		"API requests currently being served.")
 	r.NewGaugeFunc("ctxmatchd_catalogs",
 		"Prepared catalogs currently installed in the registry.",
 		func() float64 { return float64(s.reg.Len()) })
+	r.NewGaugeFunc("ctxmatchd_breaker_open",
+		"Catalogs whose match-any circuit breaker is currently open.",
+		func() float64 { return float64(s.fleet.OpenBreakers()) })
+	r.NewGaugeFunc("ctxmatchd_fused_bypass_total",
+		"Match-any retrievals served by the per-catalog fallback because a writer held the fleet lock (install or compaction).",
+		func() float64 { return float64(s.fleet.Bypasses()) })
 	// The fused retrieval index behind /v1/match-any: structure size
 	// (slots, tombstones awaiting compaction, global grams, fused runs,
 	// estimated bytes) and lifetime bound-pass effectiveness (probes,

@@ -13,6 +13,11 @@ import (
 	"ctxmatch"
 )
 
+// corruptSuffix marks a quarantined snapshot. A quarantined file's
+// name no longer matches the "*.snap" restore glob, so a corrupt
+// snapshot is inspected or deleted by an operator, never re-loaded.
+const corruptSuffix = ".corrupt"
+
 // snapshotPath maps a registry name to its file inside dir. Names are
 // URL-path-escaped so every name — including ones with separators or
 // dots — maps to exactly one flat, safe filename, and PathUnescape
@@ -31,51 +36,111 @@ func (s *Server) persistSnapshot(name string, t *ctxmatch.Target) error {
 	return s.persistRaw(name, buf.Bytes())
 }
 
-// persistRaw atomically replaces name's *.snap file with data: the
-// bytes land in a temp file in the same directory first, so a crash
-// mid-write leaves the previous snapshot intact and a restore never
-// sees a torn file.
+// persistRaw atomically and durably replaces name's *.snap file with
+// data. The bytes land in a temp file in the same directory, are
+// fsynced there, and only then renamed over the target, followed by an
+// fsync of the directory so the rename itself survives a crash. At
+// every step a crash (or an injected fault) leaves the previous
+// snapshot intact — a restore never sees a torn file.
 func (s *Server) persistRaw(name string, data []byte) error {
-	path := snapshotPath(s.cfg.SnapshotDir, name)
-	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, ".snap-*")
+	dir := s.cfg.SnapshotDir
+	path := snapshotPath(dir, name)
+	tmp, err := s.fs.CreateTemp(dir, ".snap-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("writing %q: %w", path, err)
 	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
+	tmpName := tmp.Name()
+	_, err = tmp.Write(data)
+	if err == nil {
+		// The data must be durable before the rename publishes it:
+		// rename-before-fsync can surface a zero-length or torn file
+		// under the final name after a crash.
+		err = tmp.Sync()
 	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
 	}
-	if werr != nil {
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("writing %q: %w", path, werr)
+	if err == nil {
+		err = s.fs.Rename(tmpName, path)
+	}
+	if err == nil {
+		err = s.fs.SyncDir(dir)
+	}
+	if err != nil {
+		_ = s.fs.Remove(tmpName)
+		return fmt.Errorf("writing %q: %w", path, err)
 	}
 	s.metrics.snapshotPersists.Inc()
 	return nil
 }
 
-// removeSnapshot deletes name's persisted snapshot, if any.
+// removeSnapshot deletes name's persisted snapshot and any quarantined
+// *.corrupt sibling, so an explicit DELETE leaves nothing behind.
 func (s *Server) removeSnapshot(name string) {
 	if s.cfg.SnapshotDir == "" {
 		return
 	}
-	if err := os.Remove(snapshotPath(s.cfg.SnapshotDir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	path := snapshotPath(s.cfg.SnapshotDir, name)
+	if err := s.fs.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
 		s.log.Warn("removing snapshot", "name", name, "err", err)
 	}
+	s.removeQuarantined(name)
+}
+
+// removeQuarantined deletes name's quarantined *.corrupt sibling, if
+// any — called on DELETE and on LRU eviction so the snapshot directory
+// cannot grow unboundedly with quarantine debris. The healthy *.snap
+// file of an evicted catalog is intentionally kept (it warm-restores).
+func (s *Server) removeQuarantined(name string) {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	path := snapshotPath(s.cfg.SnapshotDir, name) + corruptSuffix
+	if err := s.fs.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.log.Warn("removing quarantined snapshot", "name", name, "err", err)
+	}
+}
+
+// quarantine moves a snapshot that failed validation out of the
+// restore set by renaming it to *.corrupt (replacing any previous
+// quarantined sibling), so the warm restart proceeds and the bytes
+// stay on disk for inspection.
+func (s *Server) quarantine(path string, cause error) {
+	dst := path + corruptSuffix
+	if err := s.fs.Remove(dst); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.log.Warn("replacing quarantined snapshot", "path", dst, "err", err)
+	}
+	if err := s.fs.Rename(path, dst); err != nil {
+		// Renaming failed (read-only dir, injected fault): the corrupt
+		// file stays, but the glob will re-skip it next start.
+		s.log.Warn("quarantining snapshot failed", "path", path, "err", err)
+	}
+	s.metrics.snapshotQuarantined.Inc()
+	s.log.Warn("quarantined corrupt snapshot", "path", path, "to", dst, "err", cause)
 }
 
 // RestoreSnapshots installs every *.snap file in the configured
 // snapshot directory into the registry, in name order, and returns how
-// many catalogs it restored. A corrupt or unreadable file is logged and
-// skipped — one bad snapshot never blocks the rest of the warm restart.
-// Call it before the listener opens so the first request already sees
-// the persisted catalogs; with no snapshot directory it is a no-op.
+// many catalogs it restored. A corrupt or unreadable file is counted,
+// logged, and quarantined (renamed to *.corrupt) — one bad snapshot
+// never blocks the rest of the warm restart, and a file that fails CRC
+// or format validation is never installed. Stale temp files from
+// interrupted writes (".snap-*") are cleaned up first. Call it before
+// the listener opens so the first request already sees the persisted
+// catalogs; with no snapshot directory it is a no-op.
 func (s *Server) RestoreSnapshots() (int, error) {
 	if s.cfg.SnapshotDir == "" {
 		return 0, nil
+	}
+	// Temp litter from writes a crash interrupted: the rename never
+	// happened, so the files are invisible to the glob below but would
+	// otherwise accumulate forever.
+	if stale, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, ".snap-*")); err == nil {
+		for _, p := range stale {
+			if err := s.fs.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				s.log.Warn("removing stale snapshot temp file", "path", p, "err", err)
+			}
+		}
 	}
 	paths, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, "*.snap"))
 	if err != nil {
@@ -90,7 +155,7 @@ func (s *Server) RestoreSnapshots() (int, error) {
 			s.metrics.snapshotRestoreFailure.Inc()
 			continue
 		}
-		f, err := os.Open(path)
+		f, err := s.fs.Open(path)
 		if err != nil {
 			s.log.Warn("skipping unreadable snapshot", "path", path, "err", err)
 			s.metrics.snapshotRestoreFailure.Inc()
@@ -99,8 +164,8 @@ func (s *Server) RestoreSnapshots() (int, error) {
 		target, err := ctxmatch.LoadTarget(f)
 		f.Close()
 		if err != nil {
-			s.log.Warn("skipping corrupt snapshot", "path", path, "err", err)
 			s.metrics.snapshotRestoreFailure.Inc()
+			s.quarantine(path, err)
 			continue
 		}
 		info, _, _ := s.reg.Install(name, target)

@@ -148,12 +148,18 @@ func TestSnapshotPersistAndRestore(t *testing.T) {
 		t.Errorf("snapshot file survived DELETE: %v", err)
 	}
 
-	// A corrupt file must be skipped, not abort the warm restart.
+	// A corrupt file must be quarantined, not abort the warm restart.
 	if err := os.WriteFile(snapshotPath(dir, "corrupt"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := svc.RestoreSnapshots(); err != nil || n != 0 {
 		t.Errorf("RestoreSnapshots over corrupt file = %d, %v; want 0, nil", n, err)
+	}
+	if _, err := os.Stat(snapshotPath(dir, "corrupt")); !os.IsNotExist(err) {
+		t.Errorf("corrupt snapshot still in the restore set: %v", err)
+	}
+	if _, err := os.Stat(snapshotPath(dir, "corrupt") + corruptSuffix); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
 	}
 }
 

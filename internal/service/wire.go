@@ -230,11 +230,9 @@ type MatchAnyCatalog struct {
 	// result's selected matches.
 	Score float64 `json:"score"`
 	// Result is the catalog's full match result — the same versioned
-	// wire envelope POST …/match returns — or null when the match
-	// failed.
+	// wire envelope POST …/match returns. Catalogs whose match failed
+	// or was skipped appear in the response's Skipped list instead.
 	Result *ctxmatch.Result `json:"result,omitempty"`
-	// Error is this catalog's isolated failure, if any.
-	Error string `json:"error,omitempty"`
 }
 
 // MatchAnyResponse is the body of POST /v1/match-any: the exact-matched
@@ -251,6 +249,15 @@ type MatchAnyResponse struct {
 	Considered int `json:"considered"`
 	Pruned     int `json:"pruned"`
 	Matched    int `json:"matched"`
+	// Degraded reports a partial answer: at least one catalog was
+	// skipped (deadline budget, isolated match failure, or an open
+	// circuit breaker). Results for the catalogs in Catalogs are still
+	// exact — bit-identical to a non-degraded response restricted to
+	// them — so callers can use them and retry only the skipped set.
+	Degraded bool `json:"degraded,omitempty"`
+	// Skipped lists the catalogs left out and why ("retrieve_budget",
+	// "deadline", "canceled", "breaker_open", "error").
+	Skipped []repository.SkippedCatalog `json:"skipped,omitempty"`
 }
 
 // readMatchAnyRequest decodes a match-any body: application/json is
